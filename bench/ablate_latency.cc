@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: sensitivity of the epoch model to the off-chip miss
+ * penalty. EPI is nearly latency-independent by design (the paper's
+ * argument for reporting EPI instead of CPI), but the fraction of
+ * missing stores fully overlapped with computation shrinks as the
+ * latency grows (longer residency windows get interrupted more).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+    const uint32_t latencies[] = {100, 250, 500, 750, 1000};
+
+    for (const auto &profile : workloads()) {
+        TextTable table("Latency ablation — " + profile.name);
+        table.header({"latency", "epochs/1000", "off-chip CPI",
+                      "overlapped stores", "MLP"});
+        for (uint32_t lat : latencies) {
+            RunSpec spec;
+            spec.profile = profile;
+            spec.config = SimConfig::defaults();
+            spec.config.missLatency = lat;
+            applyScale(spec, scale);
+            SimResult res = Runner::run(spec).sim;
+            table.beginRow();
+            table.cell(static_cast<uint64_t>(lat));
+            table.cell(res.epochsPer1000(), 3);
+            table.cell(res.offChipCpi(lat), 3);
+            table.cell(res.overlappedStoreFraction(), 3);
+            table.cell(res.mlp(), 3);
+        }
+        printTable(table);
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Bench helper implementation.
+ */
+
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace storemlp::bench
+{
+
+BenchScale
+BenchScale::fromEnv()
+{
+    BenchScale s;
+    if (const char *w = std::getenv("STOREMLP_WARMUP"))
+        s.warmup = std::strtoull(w, nullptr, 10);
+    if (const char *m = std::getenv("STOREMLP_MEASURE"))
+        s.measure = std::strtoull(m, nullptr, 10);
+    if (const char *w = std::getenv("STOREMLP_SMAC_WARMUP"))
+        s.smacWarmup = std::strtoull(w, nullptr, 10);
+    if (const char *m = std::getenv("STOREMLP_SMAC_MEASURE"))
+        s.smacMeasure = std::strtoull(m, nullptr, 10);
+    return s;
+}
+
+std::vector<WorkloadProfile>
+workloads()
+{
+    return WorkloadProfile::allCommercial();
+}
+
+void
+applyScale(RunSpec &spec, const BenchScale &scale)
+{
+    spec.warmupInsts = scale.warmup;
+    spec.measureInsts = scale.measure;
+}
+
+void
+printTable(const TextTable &table)
+{
+    table.print(std::cout);
+    if (const char *csv = std::getenv("STOREMLP_CSV")) {
+        if (csv[0] && csv[0] != '0') {
+            std::cout << "csv:" << table.title() << "\n";
+            table.printCsv(std::cout);
+            std::cout << "\n";
+        }
+    }
+}
+
+} // namespace storemlp::bench

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries. Every
+ * bench prints paper-style rows via TextTable and honours two
+ * environment variables so CI can scale run length:
+ *   STOREMLP_WARMUP   warmup instructions  (default 300000)
+ *   STOREMLP_MEASURE  measured instructions (default 1000000)
+ */
+
+#ifndef STOREMLP_BENCH_BENCH_COMMON_HH
+#define STOREMLP_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runner.hh"
+#include "stats/table.hh"
+#include "trace/workload.hh"
+
+namespace storemlp::bench
+{
+
+/** Run-length knobs, overridable via environment. */
+struct BenchScale
+{
+    uint64_t warmup = 600 * 1000;
+    uint64_t measure = 1000 * 1000;
+    /** SMAC experiments need longer horizons (the store-miss working
+     *  set must cycle through the L2 before the SMAC sees reuse);
+     *  override with STOREMLP_SMAC_WARMUP / STOREMLP_SMAC_MEASURE. */
+    uint64_t smacWarmup = 4000 * 1000;
+    uint64_t smacMeasure = 1500 * 1000;
+
+    static BenchScale fromEnv();
+};
+
+/** The paper's four workloads. */
+std::vector<WorkloadProfile> workloads();
+
+/** Apply scale to a spec. */
+void applyScale(RunSpec &spec, const BenchScale &scale);
+
+/** Print a result table; with STOREMLP_CSV=1 also emit CSV rows. */
+void printTable(const TextTable &table);
+
+} // namespace storemlp::bench
+
+#endif // STOREMLP_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 2: effectiveness of store prefetching, store buffer size and
+ * store queue size, under processor consistency with 8-byte store
+ * coalescing. For each workload: epochs per 1000 instructions across
+ * Sp {Sp0, Sp1, Sp2} x store buffer {8, 16, 32} x store queue
+ * {16, 32, 64, 256}, plus the "perfect stores" floor (stores never
+ * stall the processor) that forms the figures' bottom segments.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+    const StorePrefetch sps[] = {StorePrefetch::None,
+                                 StorePrefetch::AtRetire,
+                                 StorePrefetch::AtExecute};
+    const uint32_t sbs[] = {8, 16, 32};
+    const uint32_t sqs[] = {16, 32, 64, 256};
+
+    for (const auto &profile : workloads()) {
+        TextTable table("Figure 2 — " + profile.name +
+                        " (epochs per 1000 instructions)");
+        table.header({"prefetch", "sbuf", "Sq16", "Sq32", "Sq64",
+                      "Sq256", "perfect"});
+
+        // The perfect-stores floor is prefetch/size independent;
+        // compute it once per workload.
+        RunSpec pspec;
+        pspec.profile = profile;
+        pspec.config = SimConfig::defaults();
+        pspec.config.perfectStores = true;
+        applyScale(pspec, scale);
+        double perfect = Runner::run(pspec).sim.epochsPer1000();
+
+        for (StorePrefetch sp : sps) {
+            for (uint32_t sb : sbs) {
+                table.beginRow();
+                table.cell(std::string(storePrefetchName(sp)));
+                table.cell(static_cast<uint64_t>(sb));
+                for (uint32_t sq : sqs) {
+                    RunSpec spec;
+                    spec.profile = profile;
+                    spec.config = SimConfig::defaults();
+                    spec.config.storePrefetch = sp;
+                    spec.config.storeBufferSize = sb;
+                    spec.config.storeQueueSize = sq;
+                    applyScale(spec, scale);
+                    table.cell(Runner::run(spec).sim.epochsPer1000(), 3);
+                }
+                table.cell(perfect, 3);
+            }
+        }
+        printTable(table);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 3: window-termination conditions for epochs containing at
+ * least one missing store, as fractions of all epochs:
+ *   (A) default configuration,
+ *   (B) PC3 = SLE + prefetch past serializing instructions.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+namespace
+{
+
+void
+printPanel(const char *title, const SimConfig &cfg,
+           const BenchScale &scale)
+{
+    TextTable table(title);
+    table.header({"condition", "Database", "TPC-W", "SPECjbb",
+                  "SPECweb"});
+
+    std::vector<SimResult> results;
+    for (const auto &profile : workloads()) {
+        RunSpec spec;
+        spec.profile = profile;
+        spec.config = cfg;
+        applyScale(spec, scale);
+        results.push_back(Runner::run(spec).sim);
+    }
+
+    for (unsigned c = 0; c < kNumTermConds; ++c) {
+        table.beginRow();
+        table.cell(std::string(
+            termCondName(static_cast<TermCond>(c))));
+        for (const auto &res : results)
+            table.cell(res.termFractionStoreEpochs(
+                           static_cast<TermCond>(c)),
+                       3);
+    }
+    table.beginRow();
+    table.cell(std::string("TOTAL (store-epoch fraction)"));
+    for (const auto &res : results)
+        table.cell(res.storeEpochFraction(), 3);
+
+    printTable(table);
+}
+
+} // namespace
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+
+    printPanel("Figure 3A — termination conditions, default config "
+               "(fraction of epochs with store MLP >= 1)",
+               SimConfig::defaults(), scale);
+    printPanel("Figure 3B — termination conditions under PC3 "
+               "(SLE + prefetch past serializing)",
+               SimConfig::pc3(), scale);
+    return 0;
+}

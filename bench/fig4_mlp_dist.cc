@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 4: MLP distributions for the default configuration. For each
+ * workload, the fraction of total epochs with store MLP = 1..>=10,
+ * segmented by the amount of combined load+instruction MLP (0..>=5)
+ * in the same epoch. The bottom segment of the left-most bar (store
+ * MLP 1, other MLP 0) is the paper's "most expensive" missing store.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+
+    for (const auto &profile : workloads()) {
+        RunSpec spec;
+        spec.profile = profile;
+        spec.config = SimConfig::defaults();
+        applyScale(spec, scale);
+        SimResult res = Runner::run(spec).sim;
+
+        TextTable table("Figure 4 — " + profile.name +
+                        " (fraction of epochs; rows = store MLP, "
+                        "cols = load+inst MLP)");
+        table.header({"storeMLP", "li0", "li1", "li2", "li3", "li4",
+                      "li>=5", "row total"});
+        const auto &j = res.storeVsOtherMlp;
+        for (unsigned x = 1; x <= j.maxX(); ++x) {
+            table.beginRow();
+            table.cell(x == j.maxX() ? std::string(">=") +
+                                           std::to_string(x)
+                                     : std::to_string(x));
+            double row_total = 0.0;
+            for (unsigned y = 0; y <= j.maxY(); ++y) {
+                double f = res.epochs
+                    ? static_cast<double>(j.cell(x, y)) /
+                          static_cast<double>(res.epochs)
+                    : 0.0;
+                row_total += f;
+                table.cell(f, 4);
+            }
+            table.cell(row_total, 4);
+        }
+        printTable(table);
+
+        std::cout << "  store MLP (mean over store epochs): "
+                  << formatFixed(res.storeMlp(), 3)
+                  << "   overall MLP: " << formatFixed(res.mlp(), 3)
+                  << "\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 5: performance effects of the Store Miss Accelerator. For
+ * each workload and store-prefetch scheme {Sp0, Sp1, Sp2}: epochs per
+ * 1000 instructions without a SMAC, with SMAC sizes 8K..128K entries,
+ * and with perfect stores. Two-chip system with peer traffic; SMAC
+ * runs use a longer warmup (the paper used 1B instructions because
+ * the SMAC covers a larger address space).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+    const StorePrefetch sps[] = {StorePrefetch::None,
+                                 StorePrefetch::AtRetire,
+                                 StorePrefetch::AtExecute};
+    const uint32_t smac_entries_k[] = {8, 16, 32, 64, 128};
+
+    for (const auto &profile : workloads()) {
+        TextTable table("Figure 5 — " + profile.name +
+                        " SMAC (epochs per 1000 instructions)");
+        table.header({"prefetch", "NoSMAC", "8K", "16K", "32K", "64K",
+                      "128K", "perfect"});
+
+        for (StorePrefetch sp : sps) {
+            table.beginRow();
+            table.cell(std::string(storePrefetchName(sp)));
+
+            auto run_with = [&](std::optional<SmacConfig> smac) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = SimConfig::defaults();
+                spec.config.storePrefetch = sp;
+                spec.numChips = 2;
+                spec.peerTraffic = true;
+                spec.siblingCore = true; // 2 cores/chip (Section 4.3)
+                spec.smac = smac;
+                // The SMAC covers a larger address space than the L2:
+                // warm much longer (paper Section 4.2 used 1B).
+                spec.warmupInsts = scale.smacWarmup;
+                spec.measureInsts = scale.smacMeasure;
+                return Runner::run(spec).sim.epochsPer1000();
+            };
+
+            table.cell(run_with(std::nullopt), 3);
+            for (uint32_t k : smac_entries_k) {
+                SmacConfig smac;
+                smac.entries = k * 1024;
+                table.cell(run_with(smac), 3);
+            }
+
+            RunSpec pspec;
+            pspec.profile = profile;
+            pspec.config = SimConfig::defaults();
+            pspec.config.storePrefetch = sp;
+            pspec.config.perfectStores = true;
+            pspec.numChips = 2;
+            pspec.peerTraffic = true;
+            pspec.siblingCore = true;
+            pspec.warmupInsts = scale.smacWarmup;
+            pspec.measureInsts = scale.smacMeasure;
+            table.cell(Runner::run(pspec).sim.epochsPer1000(), 3);
+        }
+        printTable(table);
+    }
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 6: impact of coherence events on SMAC effectiveness.
+ *  Left: SMAC coherence invalidates per 1000 instructions as SMAC
+ *        entries (8K..128K) and node count (2, 4) vary.
+ *  Right: % of missing stores that find a matching SMAC entry that
+ *        was invalidated by a coherence event from another node.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+    const uint32_t smac_entries_k[] = {8, 16, 32, 64, 128};
+    const uint32_t nodes[] = {2, 4};
+
+    for (const auto &profile : workloads()) {
+        TextTable inv(
+            "Figure 6 (left) — " + profile.name +
+            ": SMAC coherence invalidates per 1000 instructions");
+        inv.header({"nodes", "8K", "16K", "32K", "64K", "128K"});
+        TextTable pct(
+            "Figure 6 (right) — " + profile.name +
+            ": % missing stores hitting invalidated SMAC lines");
+        pct.header({"nodes", "8K", "16K", "32K", "64K", "128K"});
+
+        for (uint32_t n : nodes) {
+            inv.beginRow();
+            inv.cell(std::to_string(n) + "-node");
+            pct.beginRow();
+            pct.cell(std::to_string(n) + "-node");
+
+            for (uint32_t k : smac_entries_k) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = SimConfig::defaults();
+                spec.numChips = n;
+                spec.peerTraffic = true;
+                spec.siblingCore = true; // 2 cores/chip (Section 4.3)
+                SmacConfig smac;
+                smac.entries = k * 1024;
+                spec.smac = smac;
+                spec.warmupInsts = scale.smacWarmup;
+                spec.measureInsts = scale.smacMeasure;
+
+                RunOutput out = Runner::run(spec);
+                inv.cell(out.smacInvalidatesPer1000(), 3);
+                pct.cell(out.smacHitInvalidPct(), 2);
+            }
+        }
+        printTable(inv);
+        printTable(pct);
+    }
+    return 0;
+}

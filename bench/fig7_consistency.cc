@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 7: effectiveness of memory-consistency-model optimizations.
+ * For each workload and store-prefetch scheme: epochs per 1000
+ * instructions ("with stores" and the perfect-stores floor) for
+ *   PC1 default | PC2 +prefetch-past-serializing | PC3 +SLE
+ *   WC1 rewritten-trace baseline | WC2 | WC3
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+    const StorePrefetch sps[] = {StorePrefetch::None,
+                                 StorePrefetch::AtRetire,
+                                 StorePrefetch::AtExecute};
+    const SimConfig configs[] = {SimConfig::defaults(),
+                                 SimConfig::pc2(),
+                                 SimConfig::pc3(),
+                                 SimConfig::wc1(),
+                                 SimConfig::wc2(),
+                                 SimConfig::wc3()};
+    const char *names[] = {"PC1", "PC2", "PC3", "WC1", "WC2", "WC3"};
+
+    for (const auto &profile : workloads()) {
+        TextTable table("Figure 7 — " + profile.name +
+                        " (epochs per 1000 instructions: total / "
+                        "perfect-store floor)");
+        table.header({"prefetch", "PC1", "PC2", "PC3", "WC1", "WC2",
+                      "WC3"});
+
+        for (StorePrefetch sp : sps) {
+            table.beginRow();
+            table.cell(std::string(storePrefetchName(sp)));
+            for (size_t c = 0; c < 6; ++c) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = configs[c].withPrefetch(sp);
+                applyScale(spec, scale);
+                double total = Runner::run(spec).sim.epochsPer1000();
+
+                RunSpec pspec = spec;
+                pspec.config.perfectStores = true;
+                double floor =
+                    Runner::run(pspec).sim.epochsPer1000();
+
+                table.cell(formatFixed(total, 3) + "/" +
+                           formatFixed(floor, 3));
+            }
+        }
+        printTable(table);
+        (void)names;
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 8: effectiveness of Hardware Scout and its optimizations.
+ * For each workload and memory model {PC, WC}: epochs per 1000
+ * instructions ("with stores" / perfect-store floor) for
+ *   NoHWS | HWS0 (enter on missing load, prefetch loads+insts) |
+ *   HWS1 (+ prefetch stores) | HWS2 (+ enter on store-queue stalls).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+    const ScoutMode modes[] = {ScoutMode::Off, ScoutMode::Hws0,
+                               ScoutMode::Hws1, ScoutMode::Hws2};
+
+    for (const auto &profile : workloads()) {
+        TextTable table("Figure 8 — " + profile.name +
+                        " (epochs per 1000 instructions: total / "
+                        "perfect-store floor)");
+        table.header({"model", "NoHWS", "HWS0", "HWS1", "HWS2"});
+
+        for (MemoryModel mm : {MemoryModel::ProcessorConsistency,
+                               MemoryModel::WeakConsistency}) {
+            table.beginRow();
+            table.cell(std::string(memoryModelName(mm)));
+            for (ScoutMode sm : modes) {
+                SimConfig cfg =
+                    mm == MemoryModel::ProcessorConsistency
+                        ? SimConfig::defaults()
+                        : SimConfig::wc1();
+                cfg.scout = sm;
+
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = cfg;
+                applyScale(spec, scale);
+                double total = Runner::run(spec).sim.epochsPer1000();
+
+                RunSpec pspec = spec;
+                pspec.config.perfectStores = true;
+                double floor =
+                    Runner::run(pspec).sim.epochsPer1000();
+
+                table.cell(formatFixed(total, 3) + "/" +
+                           formatFixed(floor, 3));
+            }
+        }
+        printTable(table);
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Simulator performance harness (google-benchmark): trace generation
+ * throughput, cache-only replay throughput, and full epoch-engine
+ * throughput on each commercial workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coherence/chip.hh"
+#include "core/mlp_sim.hh"
+#include "core/runner.hh"
+#include "trace/generator.hh"
+
+using namespace storemlp;
+
+namespace
+{
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    WorkloadProfile profile = WorkloadProfile::database();
+    uint64_t n = static_cast<uint64_t>(state.range(0));
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        SyntheticTraceGenerator gen(profile, seed++);
+        Trace t = gen.generate(n);
+        benchmark::DoNotOptimize(t.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(100000);
+
+void
+BM_CacheReplay(benchmark::State &state)
+{
+    WorkloadProfile profile = WorkloadProfile::database();
+    SyntheticTraceGenerator gen(profile, 1);
+    Trace trace = gen.generate(100000);
+    for (auto _ : state) {
+        CacheHierarchy hier;
+        for (const auto &r : trace.records()) {
+            hier.instFetch(r.pc);
+            if (isLoadClass(r.cls))
+                hier.load(r.addr);
+            if (isStoreClass(r.cls))
+                hier.store(r.addr);
+        }
+        benchmark::DoNotOptimize(hier.l2Accesses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_CacheReplay);
+
+void
+epochEngineBench(benchmark::State &state, WorkloadProfile profile)
+{
+    SyntheticTraceGenerator gen(profile, 1);
+    Trace trace = gen.generate(100000);
+    LockAnalysis locks = LockDetector().analyze(trace);
+    SimConfig cfg = SimConfig::defaults();
+    cfg.cpiOnChip = profile.cpiOnChip;
+    for (auto _ : state) {
+        ChipNode chip(HierarchyConfig{}, 0);
+        MlpSimulator sim(cfg, chip, &locks);
+        SimResult res = sim.run(trace);
+        benchmark::DoNotOptimize(res.epochs);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace.size()));
+}
+
+void
+BM_EpochEngine_Database(benchmark::State &state)
+{
+    epochEngineBench(state, WorkloadProfile::database());
+}
+BENCHMARK(BM_EpochEngine_Database);
+
+void
+BM_EpochEngine_SpecJbb(benchmark::State &state)
+{
+    epochEngineBench(state, WorkloadProfile::specjbb());
+}
+BENCHMARK(BM_EpochEngine_SpecJbb);
+
+void
+BM_EpochEngineScout_Database(benchmark::State &state)
+{
+    WorkloadProfile profile = WorkloadProfile::database();
+    SyntheticTraceGenerator gen(profile, 1);
+    Trace trace = gen.generate(100000);
+    LockAnalysis locks = LockDetector().analyze(trace);
+    SimConfig cfg = SimConfig::defaults().withScout(ScoutMode::Hws2);
+    cfg.cpiOnChip = profile.cpiOnChip;
+    for (auto _ : state) {
+        ChipNode chip(HierarchyConfig{}, 0);
+        MlpSimulator sim(cfg, chip, &locks);
+        SimResult res = sim.run(trace);
+        benchmark::DoNotOptimize(res.epochs);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(trace.size()));
+}
+BENCHMARK(BM_EpochEngineScout_Database);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 2: fraction of missing stores fully overlapped with
+ * computation, default processor configuration, 500-cycle memory
+ * latency. Paper values: 0.09 / 0.12 / 0.06 / 0.22.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main()
+{
+    BenchScale scale = BenchScale::fromEnv();
+
+    TextTable table("Table 2 — fraction of missing stores fully "
+                    "overlapped with computation");
+    table.header({"", "Database", "TPC-W", "SPECjbb", "SPECweb"});
+
+    const double paper[] = {0.09, 0.12, 0.06, 0.22};
+
+    table.beginRow();
+    table.cell(std::string("measured"));
+    for (const auto &profile : workloads()) {
+        RunSpec spec;
+        spec.profile = profile;
+        spec.config = SimConfig::defaults();
+        applyScale(spec, scale);
+        RunOutput out = Runner::run(spec);
+        table.cell(out.sim.overlappedStoreFraction(), 3);
+    }
+    table.beginRow();
+    table.cell(std::string("paper"));
+    for (double p : paper)
+        table.cell(p, 2);
+
+    printTable(table);
+    return 0;
+}

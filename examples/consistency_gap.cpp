@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Domain example: quantifying the store-performance gap between
+ * processor consistency (SPARC TSO) and weak consistency (PowerPC)
+ * for a lock-heavy workload, and how far SLE + prefetching past
+ * serializing instructions close it — the paper's Section 5.3 story,
+ * told through the public API including the lock detector and the
+ * PC->WC trace rewriter.
+ */
+
+#include <iostream>
+
+#include "core/mlp_sim.hh"
+#include "core/runner.hh"
+#include "stats/table.hh"
+#include "trace/generator.hh"
+#include "trace/rewriter.hh"
+
+using namespace storemlp;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t insts = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                              : 800000;
+    WorkloadProfile profile = WorkloadProfile::specjbb(); // lock-heavy
+
+    // Show the methodology pieces explicitly: generate the TSO trace,
+    // detect its lock idioms, and rewrite it for weak consistency.
+    SyntheticTraceGenerator gen(profile, 42);
+    Trace pc_trace = gen.generate(insts + insts / 2);
+    LockAnalysis locks = LockDetector().analyze(pc_trace);
+    Trace wc_trace = TraceRewriter().toWeakConsistency(pc_trace, locks);
+
+    std::cout << "workload: " << profile.name << "\n"
+              << "detected critical sections: " << locks.pairs.size()
+              << "\n"
+              << "PC trace: " << pc_trace.size()
+              << " records, WC rendition: " << wc_trace.size()
+              << " records\n\n";
+
+    TextTable table("Bridging the consistency gap (" + profile.name +
+                    ", epochs per 1000 instructions)");
+    table.header({"configuration", "PC", "WC", "gap"});
+
+    struct Step
+    {
+        const char *name;
+        bool pps;
+        bool sle;
+    };
+    for (Step step : {Step{"baseline", false, false},
+                      Step{"+ prefetch past serializing", true, false},
+                      Step{"+ SLE", true, true}}) {
+        auto run_model = [&](MemoryModel mm) {
+            RunSpec spec;
+            spec.profile = profile;
+            spec.config = SimConfig::defaults();
+            spec.config.memoryModel = mm;
+            spec.config.prefetchPastSerializing = step.pps;
+            spec.config.sle = step.sle;
+            spec.warmupInsts = insts / 2;
+            spec.measureInsts = insts;
+            return Runner::run(spec).sim.epochsPer1000();
+        };
+        double pc = run_model(MemoryModel::ProcessorConsistency);
+        double wc = run_model(MemoryModel::WeakConsistency);
+        table.beginRow();
+        table.cell(std::string(step.name));
+        table.cell(pc, 3);
+        table.cell(wc, 3);
+        table.cell(formatFixed(100.0 * (pc - wc) / pc, 1) + "%");
+    }
+    table.print(std::cout);
+
+    std::cout << "The gap (PC slower than WC) stems from serializing\n"
+                 "lock acquires draining the store queue under TSO;\n"
+                 "SLE turns those acquires into plain loads.\n";
+    return 0;
+}

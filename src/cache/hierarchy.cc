@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cache hierarchy implementation.
+ */
+
+#include "cache/hierarchy.hh"
+
+namespace storemlp
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : _config(config), _l1i(config.l1i), _l1d(config.l1d), _l2(config.l2)
+{
+}
+
+MissLevel
+CacheHierarchy::accessL2(uint64_t addr, bool is_write)
+{
+    ++_l2Accesses;
+    AccessResult r = _l2.access(addr, is_write, true);
+    if (r.victimValid && _onEvict)
+        _onEvict(r.victimLineAddr, r.victimDirty, r.victimState);
+    return r.hit ? MissLevel::L2Hit : MissLevel::OffChip;
+}
+
+MissLevel
+CacheHierarchy::instFetch(uint64_t pc)
+{
+    uint64_t line = lineAddr(pc);
+    ++_instAccesses;
+    if (line == _lastFetchLine)
+        return MissLevel::L1Hit;
+    _lastFetchLine = line;
+    if (_l1i.access(line, false, true).hit)
+        return MissLevel::L1Hit;
+    MissLevel lvl = accessL2(line, false);
+    if (lvl == MissLevel::OffChip)
+        ++_instL2Misses;
+    return lvl;
+}
+
+MissLevel
+CacheHierarchy::load(uint64_t addr)
+{
+    ++_loadAccesses;
+    if (_l1d.access(addr, false, true).hit)
+        return MissLevel::L1Hit;
+    MissLevel lvl = accessL2(addr, false);
+    if (lvl == MissLevel::OffChip)
+        ++_loadL2Misses;
+    return lvl;
+}
+
+MissLevel
+CacheHierarchy::store(uint64_t addr)
+{
+    ++_storeAccesses;
+    // Write-through no-write-allocate L1D: update on hit, never fill.
+    _l1d.access(addr, true, false);
+    // Stores always reach the (write-allocate) L2.
+    MissLevel lvl = accessL2(addr, true);
+    if (lvl == MissLevel::OffChip)
+        ++_storeL2Misses;
+    return lvl == MissLevel::L2Hit ? MissLevel::L2Hit : MissLevel::OffChip;
+}
+
+bool
+CacheHierarchy::prefetchLine(uint64_t addr, bool for_write)
+{
+    ++_prefetchesIssued;
+    ++_l2Accesses;
+    if (_l2.probe(addr)) {
+        if (for_write)
+            _l2.access(addr, true, true); // mark dirty / refresh LRU
+        return true;
+    }
+    AccessResult r = _l2.access(addr, for_write, true);
+    if (r.victimValid && _onEvict)
+        _onEvict(r.victimLineAddr, r.victimDirty, r.victimState);
+    return false;
+}
+
+void
+CacheHierarchy::invalidateLine(uint64_t addr)
+{
+    uint64_t line = lineAddr(addr);
+    _l1i.invalidate(line);
+    _l1d.invalidate(line);
+    auto inv = _l2.invalidate(line);
+    if (inv.wasPresent && inv.wasDirty && _onEvict)
+        _onEvict(line, true, inv.state);
+    if (line == _lastFetchLine)
+        _lastFetchLine = ~0ULL;
+}
+
+void
+CacheHierarchy::invalidateForCoherence(uint64_t addr)
+{
+    uint64_t line = lineAddr(addr);
+    _l1i.invalidate(line);
+    _l1d.invalidate(line);
+    _l2.invalidate(line);
+    if (line == _lastFetchLine)
+        _lastFetchLine = ~0ULL;
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    _instAccesses = _instL2Misses = 0;
+    _loadAccesses = _loadL2Misses = 0;
+    _storeAccesses = _storeL2Misses = 0;
+    _l2Accesses = 0;
+    _prefetchesIssued = 0;
+    _l1i.resetStats();
+    _l1d.resetStats();
+    _l2.resetStats();
+}
+
+} // namespace storemlp

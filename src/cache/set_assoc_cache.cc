@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Set-associative cache implementation.
+ */
+
+#include "cache/set_assoc_cache.hh"
+
+#include <cassert>
+
+namespace storemlp
+{
+
+namespace
+{
+bool
+isPow2(uint64_t v)
+{
+    return v && ((v & (v - 1)) == 0);
+}
+} // namespace
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : _config(config), _numSets(config.numSets())
+{
+    assert(_numSets >= 1);
+    assert(isPow2(config.lineBytes));
+    assert(isPow2(_numSets));
+    _lines.resize(_numSets * _config.assoc);
+}
+
+uint64_t
+SetAssocCache::setIndex(uint64_t addr) const
+{
+    return (addr / _config.lineBytes) & (_numSets - 1);
+}
+
+uint64_t
+SetAssocCache::tagOf(uint64_t addr) const
+{
+    return (addr / _config.lineBytes) / _numSets;
+}
+
+SetAssocCache::Line *
+SetAssocCache::findLine(uint64_t addr)
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Line *base = &_lines[set * _config.assoc];
+    for (uint32_t w = 0; w < _config.assoc; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::findLine(uint64_t addr) const
+{
+    return const_cast<SetAssocCache *>(this)->findLine(addr);
+}
+
+AccessResult
+SetAssocCache::access(uint64_t addr, bool is_write, bool allocate)
+{
+    ++_accesses;
+    AccessResult res;
+    if (Line *line = findLine(addr)) {
+        res.hit = true;
+        if (_config.replacement != ReplacementPolicy::Fifo)
+            line->lru = ++_lruClock; // FIFO: age is fill order only
+        if (is_write)
+            line->dirty = true;
+        return res;
+    }
+
+    ++_misses;
+    if (!allocate)
+        return res;
+
+    uint64_t set = setIndex(addr);
+    Line *victim = chooseVictim(set);
+
+    if (victim->valid) {
+        res.victimValid = true;
+        res.victimLineAddr = (victim->tag * _numSets + set)
+            * _config.lineBytes;
+        res.victimDirty = victim->dirty;
+        res.victimState = victim->state;
+        if (victim->dirty)
+            ++_evictionsDirty;
+    }
+
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->lru = ++_lruClock;
+    victim->dirty = is_write;
+    victim->state = 0;
+    return res;
+}
+
+SetAssocCache::Line *
+SetAssocCache::chooseVictim(uint64_t set)
+{
+    // An invalid way always wins.
+    Line *base = &_lines[set * _config.assoc];
+    for (uint32_t w = 0; w < _config.assoc; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+    }
+    switch (_config.replacement) {
+      case ReplacementPolicy::Random: {
+        // xorshift64*: deterministic per cache instance.
+        _rngState ^= _rngState >> 12;
+        _rngState ^= _rngState << 25;
+        _rngState ^= _rngState >> 27;
+        uint64_t r = _rngState * 2685821657736338717ULL;
+        return &base[r % _config.assoc];
+      }
+      case ReplacementPolicy::Fifo:
+      case ReplacementPolicy::Lru:
+      default: {
+        // FIFO reuses the lru stamp but never refreshes it on hits
+        // (see access()); LRU is the refreshed variant.
+        Line *victim = &base[0];
+        for (uint32_t w = 0; w < _config.assoc; ++w) {
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+        return victim;
+      }
+    }
+}
+
+bool
+SetAssocCache::probe(uint64_t addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+std::optional<uint8_t>
+SetAssocCache::probeState(uint64_t addr) const
+{
+    if (const Line *line = findLine(addr))
+        return line->state;
+    return std::nullopt;
+}
+
+bool
+SetAssocCache::setState(uint64_t addr, uint8_t state)
+{
+    if (Line *line = findLine(addr)) {
+        line->state = state;
+        return true;
+    }
+    return false;
+}
+
+SetAssocCache::InvalidateResult
+SetAssocCache::invalidate(uint64_t addr)
+{
+    InvalidateResult r;
+    if (Line *line = findLine(addr)) {
+        r.wasPresent = true;
+        r.wasDirty = line->dirty;
+        r.state = line->state;
+        line->valid = false;
+        line->dirty = false;
+        line->state = 0;
+    }
+    return r;
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto &line : _lines)
+        line = Line();
+    _lruClock = 0;
+}
+
+uint64_t
+SetAssocCache::residentLines() const
+{
+    uint64_t n = 0;
+    for (const auto &line : _lines)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace storemlp

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Generic set-associative LRU cache model with victim reporting and a
+ * per-line user state byte (used by the coherence layer for MESI).
+ */
+
+#ifndef STOREMLP_CACHE_SET_ASSOC_CACHE_HH
+#define STOREMLP_CACHE_SET_ASSOC_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_config.hh"
+#include "stats/counter.hh"
+
+namespace storemlp
+{
+
+/** Result of a cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** A valid line was evicted to make room. */
+    bool victimValid = false;
+    uint64_t victimLineAddr = 0;
+    bool victimDirty = false;
+    uint8_t victimState = 0;
+};
+
+/**
+ * Set-associative cache with true-LRU replacement. Tracks only tags
+ * (this is a timing/placement model, not a data model). Lines carry a
+ * dirty bit and an opaque user `state` byte for coherence layering.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Access the line containing `addr`.
+     * @param is_write marks the line dirty on hit/fill
+     * @param allocate install the line on miss (false = no-write-allocate)
+     * @return hit/miss plus any victim displaced by the fill
+     */
+    AccessResult access(uint64_t addr, bool is_write, bool allocate = true);
+
+    /** Non-destructive presence check (does not update LRU). */
+    bool probe(uint64_t addr) const;
+    /** Probe and return the line's user state, if present. */
+    std::optional<uint8_t> probeState(uint64_t addr) const;
+    /** Set the user state byte of a present line; false if absent. */
+    bool setState(uint64_t addr, uint8_t state);
+    /** Invalidate a line; returns true (plus dirtiness) if present. */
+    struct InvalidateResult { bool wasPresent = false; bool wasDirty = false; uint8_t state = 0; };
+    InvalidateResult invalidate(uint64_t addr);
+    /** Drop all lines. */
+    void clear();
+
+    const CacheConfig &config() const { return _config; }
+    uint64_t accesses() const { return _accesses; }
+    uint64_t misses() const { return _misses; }
+    uint64_t evictionsDirty() const { return _evictionsDirty; }
+    void resetStats() { _accesses = _misses = _evictionsDirty = 0; }
+
+    /** Number of valid lines currently resident (O(capacity)). */
+    uint64_t residentLines() const;
+
+  private:
+    struct Line
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint8_t state = 0;
+    };
+
+    uint64_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+    Line *findLine(uint64_t addr);
+    const Line *findLine(uint64_t addr) const;
+
+    Line *chooseVictim(uint64_t set);
+
+    CacheConfig _config;
+    uint64_t _numSets;
+    std::vector<Line> _lines; // numSets x assoc
+    uint64_t _lruClock = 0;
+    uint64_t _rngState = 0x9e3779b97f4a7c15ULL; ///< Random policy
+
+    uint64_t _accesses = 0;
+    uint64_t _misses = 0;
+    uint64_t _evictionsDirty = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CACHE_SET_ASSOC_CACHE_HH

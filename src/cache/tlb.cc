@@ -1,0 +1,61 @@
+/**
+ * @file
+ * TLB implementation.
+ */
+
+#include "cache/tlb.hh"
+
+#include <cassert>
+#include <cstddef>
+
+namespace storemlp
+{
+
+Tlb::Tlb(const TlbConfig &config) : _config(config)
+{
+    assert(config.entries % config.assoc == 0);
+    _numSets = config.entries / config.assoc;
+    assert(_numSets && (_numSets & (_numSets - 1)) == 0);
+    _entries.resize(config.entries);
+}
+
+bool
+Tlb::access(uint64_t vaddr)
+{
+    ++_accesses;
+    uint64_t vpn = vaddr / _config.pageBytes;
+    uint32_t set = static_cast<uint32_t>(vpn & (_numSets - 1));
+    Entry *base = &_entries[static_cast<size_t>(set) * _config.assoc];
+
+    for (uint32_t w = 0; w < _config.assoc; ++w) {
+        if (base[w].valid && base[w].vpn == vpn) {
+            base[w].lru = ++_lruClock;
+            return true;
+        }
+    }
+
+    ++_misses;
+    Entry *victim = &base[0];
+    for (uint32_t w = 0; w < _config.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lru = ++_lruClock;
+    return false;
+}
+
+void
+Tlb::clear()
+{
+    for (auto &e : _entries)
+        e = Entry();
+    _lruClock = 0;
+}
+
+} // namespace storemlp

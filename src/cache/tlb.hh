@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TLB model. The paper's default configuration includes a shared
+ * 2K-entry TLB; TLB misses are not a window-termination condition in
+ * the epoch model (the paper does not treat them as one) so the model
+ * is purely statistical, but it is part of the default configuration
+ * and its miss rate is reported by the runner for completeness.
+ */
+
+#ifndef STOREMLP_CACHE_TLB_HH
+#define STOREMLP_CACHE_TLB_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace storemlp
+{
+
+/** TLB geometry. */
+struct TlbConfig
+{
+    uint32_t entries = 2048;
+    uint32_t assoc = 8;
+    uint32_t pageBytes = 8192;
+};
+
+/**
+ * Set-associative TLB with LRU replacement.
+ */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &config = {});
+
+    /** Translate; returns true on TLB hit. */
+    bool access(uint64_t vaddr);
+
+    uint64_t accesses() const { return _accesses; }
+    uint64_t misses() const { return _misses; }
+    void resetStats() { _accesses = _misses = 0; }
+    void clear();
+
+    const TlbConfig &config() const { return _config; }
+
+  private:
+    struct Entry
+    {
+        uint64_t vpn = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    TlbConfig _config;
+    uint32_t _numSets;
+    std::vector<Entry> _entries;
+    uint64_t _lruClock = 0;
+    uint64_t _accesses = 0;
+    uint64_t _misses = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CACHE_TLB_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Snoop bus implementation.
+ */
+
+#include "coherence/bus.hh"
+
+#include "coherence/chip.hh"
+
+namespace storemlp
+{
+
+void
+SnoopBus::attach(ChipNode *chip)
+{
+    _chips.push_back(chip);
+}
+
+BusResponse
+SnoopBus::request(const BusRequest &req)
+{
+    switch (req.kind) {
+      case BusRequest::Kind::Rd: ++_reads; break;
+      case BusRequest::Kind::RdX: ++_readExclusives; break;
+      case BusRequest::Kind::Upgr: ++_upgrades; break;
+    }
+
+    BusResponse resp;
+    for (ChipNode *chip : _chips) {
+        if (chip->chipId() == req.srcChip)
+            continue;
+        // Peek at the remote L2 before the snoop mutates it.
+        uint64_t line = req.line;
+        auto state = chip->hierarchy().l2().probeState(line);
+        bool owns_in_smac = chip->smac() && chip->smac()->ownsLine(line);
+        if (state || owns_in_smac) {
+            resp.remoteHad = true;
+            if (state &&
+                static_cast<MesiState>(*state) == MesiState::Modified) {
+                resp.remoteModified = true;
+            }
+        }
+        chip->snoop(req);
+    }
+    if (resp.remoteHad)
+        ++_remoteHits;
+    return resp;
+}
+
+} // namespace storemlp

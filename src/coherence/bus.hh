@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Broadcast snoop bus connecting the chips of the multiprocessor.
+ */
+
+#ifndef STOREMLP_COHERENCE_BUS_HH
+#define STOREMLP_COHERENCE_BUS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace storemlp
+{
+
+class ChipNode;
+
+/** One bus transaction. */
+struct BusRequest
+{
+    enum class Kind : uint8_t
+    {
+        Rd,   ///< read (load / instruction miss)
+        RdX,  ///< read-for-ownership (store miss)
+        Upgr, ///< upgrade S->M (store hit on shared line)
+    };
+
+    Kind kind = Kind::Rd;
+    uint64_t line = 0;
+    uint32_t srcChip = 0;
+};
+
+/** Snoop outcome aggregated over all remote chips. */
+struct BusResponse
+{
+    /** Some remote chip held the line (any valid state). */
+    bool remoteHad = false;
+    /** Some remote chip held the line modified (dirty transfer). */
+    bool remoteModified = false;
+};
+
+/**
+ * Broadcast MESI snoop bus. Every request is presented to every
+ * attached chip except the requester.
+ */
+class SnoopBus
+{
+  public:
+    /** Attach a chip; the bus does not own it. */
+    void attach(ChipNode *chip);
+
+    /** Broadcast a request and gather the snoop response. */
+    BusResponse request(const BusRequest &req);
+
+    size_t chipCount() const { return _chips.size(); }
+
+    // ---- statistics ----
+    uint64_t reads() const { return _reads; }
+    uint64_t readExclusives() const { return _readExclusives; }
+    uint64_t upgrades() const { return _upgrades; }
+    uint64_t remoteHits() const { return _remoteHits; }
+    void resetStats() { _reads = _readExclusives = _upgrades = _remoteHits = 0; }
+
+  private:
+    std::vector<ChipNode *> _chips;
+    uint64_t _reads = 0;
+    uint64_t _readExclusives = 0;
+    uint64_t _upgrades = 0;
+    uint64_t _remoteHits = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_COHERENCE_BUS_HH

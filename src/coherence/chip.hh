@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-chip coherent memory system: cache hierarchy + MESI state +
+ * optional SMAC, attached to the snoop bus. This is the memory
+ * interface the epoch engine and the peer traffic agents drive.
+ */
+
+#ifndef STOREMLP_COHERENCE_CHIP_HH
+#define STOREMLP_COHERENCE_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cache/hierarchy.hh"
+#include "cache/tlb.hh"
+#include "coherence/bus.hh"
+#include "coherence/mesi.hh"
+#include "coherence/smac.hh"
+
+namespace storemlp
+{
+
+/**
+ * One chip of the multiprocessor. When no bus is attached the chip
+ * behaves as a single-chip system (stores never pay an invalidation
+ * penalty, which is also what the paper assumes in that case).
+ */
+class ChipNode
+{
+  public:
+    ChipNode(const HierarchyConfig &hier_config, uint32_t chip_id,
+             std::optional<SmacConfig> smac_config = std::nullopt,
+             CoherenceProtocol protocol = CoherenceProtocol::Mesi);
+
+    /** Attach to a bus (also registers this chip with the bus). */
+    void connect(SnoopBus *bus);
+
+    /** Outcome of a data store. */
+    struct StoreOutcome
+    {
+        MissLevel level = MissLevel::L1Hit;
+        bool smacHit = false;            ///< ownership found in the SMAC
+        bool smacHitInvalidated = false; ///< tag hit on invalidated entry
+        bool remoteInvalidation = false; ///< paid a cross-chip penalty
+    };
+    StoreOutcome store(uint64_t addr);
+
+    /** Outcome of a data load. */
+    struct LoadOutcome
+    {
+        MissLevel level = MissLevel::L1Hit;
+        bool remoteTransfer = false;
+    };
+    LoadOutcome load(uint64_t addr);
+
+    /** Instruction fetch. */
+    MissLevel instFetch(uint64_t pc);
+
+    /**
+     * Hardware prefetch of a line (store prefetching / scout).
+     * Performs the full coherence action of the eventual demand access
+     * so the later demand access hits locally.
+     * @return true if the line was already present in the L2
+     */
+    bool prefetchLine(uint64_t addr, bool for_write);
+
+    /** Remote-initiated snoop, called by the bus. */
+    void snoop(const BusRequest &req);
+
+    Tlb &tlb() { return _tlb; }
+    const Tlb &tlb() const { return _tlb; }
+    CacheHierarchy &hierarchy() { return _hier; }
+    const CacheHierarchy &hierarchy() const { return _hier; }
+    Smac *smac() { return _smac ? _smac.get() : nullptr; }
+    const Smac *smac() const { return _smac ? _smac.get() : nullptr; }
+    uint32_t chipId() const { return _chipId; }
+    CoherenceProtocol protocol() const { return _protocol; }
+
+    /** Missing stores that skipped the invalidation penalty via SMAC. */
+    uint64_t smacAcceleratedStores() const { return _smacAccelerated; }
+    void resetStats();
+
+  private:
+    void setLineState(uint64_t line, MesiState s);
+
+    CacheHierarchy _hier;
+    Tlb _tlb; ///< shared 2K-entry TLB (Section 4.3); stats only
+    uint32_t _chipId;
+    CoherenceProtocol _protocol;
+    std::unique_ptr<Smac> _smac;
+    SnoopBus *_bus = nullptr;
+
+    uint64_t _smacAccelerated = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_COHERENCE_CHIP_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * MESI line states. Stored in the SetAssocCache per-line user state
+ * byte by the chip coherence wrapper. Invalid must be 0 because a
+ * freshly filled line's state byte defaults to 0.
+ */
+
+#ifndef STOREMLP_COHERENCE_MESI_HH
+#define STOREMLP_COHERENCE_MESI_HH
+
+#include <cstdint>
+
+namespace storemlp
+{
+
+/** Coherence protocol variants. The paper assumes MESI and notes the
+ *  scheme "can be easily extended to the MOESI protocol". */
+enum class CoherenceProtocol : uint8_t
+{
+    Mesi,
+    Moesi,
+};
+
+/** MESI/MOESI line states (paper Section 3.3.3). */
+enum class MesiState : uint8_t
+{
+    Invalid = 0,
+    Shared,
+    Exclusive,
+    Modified,
+    Owned, ///< MOESI only: dirty but shared; this chip supplies data
+};
+
+/** Printable name for diagnostics. */
+inline const char *
+mesiName(MesiState s)
+{
+    switch (s) {
+      case MesiState::Invalid: return "I";
+      case MesiState::Shared: return "S";
+      case MesiState::Exclusive: return "E";
+      case MesiState::Modified: return "M";
+      case MesiState::Owned: return "O";
+      default: return "?";
+    }
+}
+
+} // namespace storemlp
+
+#endif // STOREMLP_COHERENCE_MESI_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Peer traffic agent implementation.
+ */
+
+#include "coherence/traffic.hh"
+
+namespace storemlp
+{
+
+PeerTrafficAgent::PeerTrafficAgent(const WorkloadProfile &profile,
+                                   uint64_t seed, ChipNode &node,
+                                   int gen_id)
+    : _gen(profile, seed,
+           gen_id >= 0 ? static_cast<uint32_t>(gen_id)
+                       : node.chipId()),
+      _node(node)
+{
+}
+
+void
+PeerTrafficAgent::refill()
+{
+    _buffer = _gen.generate(kChunk);
+    _cursor = 0;
+}
+
+void
+PeerTrafficAgent::step(uint64_t instructions)
+{
+    for (uint64_t i = 0; i < instructions; ++i) {
+        if (_cursor >= _buffer.size())
+            refill();
+        const TraceRecord &r = _buffer[_cursor++];
+        ++_retired;
+
+        _node.instFetch(r.pc);
+        if (isLoadClass(r.cls))
+            _node.load(r.addr);
+        if (isStoreClass(r.cls))
+            _node.store(r.addr);
+    }
+}
+
+} // namespace storemlp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Peer traffic agent: drives a remote chip of the multiprocessor with
+ * a synthetic instruction stream (same workload class, different seed,
+ * partially overlapping shared store region) so that cross-chip
+ * coherence traffic — in particular the remote request-to-own snoops
+ * that invalidate SMAC entries in Figure 6 — is generated organically
+ * rather than injected as an abstract rate.
+ */
+
+#ifndef STOREMLP_COHERENCE_TRAFFIC_HH
+#define STOREMLP_COHERENCE_TRAFFIC_HH
+
+#include <cstdint>
+
+#include "coherence/chip.hh"
+#include "trace/generator.hh"
+
+namespace storemlp
+{
+
+/**
+ * Runs a reduced (cache-only, no epoch engine) simulation of one peer
+ * chip. The owning experiment steps all peers in lockstep with the
+ * measured chip, one instruction at a time.
+ */
+class PeerTrafficAgent
+{
+  public:
+    /**
+     * @param gen_id region-placement id for the generator; defaults
+     *        to the chip id. A sibling core on the same chip passes a
+     *        distinct id so its private data lives elsewhere.
+     */
+    PeerTrafficAgent(const WorkloadProfile &profile, uint64_t seed,
+                     ChipNode &node, int gen_id = -1);
+
+    /** Advance the peer by `instructions` dynamic instructions. */
+    void step(uint64_t instructions);
+
+    uint64_t instructionsRetired() const { return _retired; }
+    ChipNode &node() { return _node; }
+
+  private:
+    void refill();
+
+    SyntheticTraceGenerator _gen;
+    ChipNode &_node;
+    Trace _buffer;
+    size_t _cursor = 0;
+    uint64_t _retired = 0;
+
+    static constexpr uint64_t kChunk = 16 * 1024;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_COHERENCE_TRAFFIC_HH

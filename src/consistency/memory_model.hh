@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory consistency model policy. Encodes the store-visible
+ * differences between processor consistency (SPARC TSO) and weak
+ * consistency (PowerPC WC) that Section 3.3.4 of the paper analyzes:
+ *
+ *  - PC commits stores in order; a missing store at the head of the
+ *    store queue blocks all younger stores. WC commits out of order;
+ *    only lwsync fences constrain commit order.
+ *  - Under PC, casa/membar drain the pipeline AND the store
+ *    buffer/queue before executing. Under WC, isync drains only the
+ *    pipeline; lwsync is purely a store-queue ordering fence.
+ *  - Coalescing: PC merges only consecutive stores (tail entry); WC
+ *    merges with any entry on this side of the youngest fence.
+ */
+
+#ifndef STOREMLP_CONSISTENCY_MEMORY_MODEL_HH
+#define STOREMLP_CONSISTENCY_MEMORY_MODEL_HH
+
+#include <cstdint>
+
+#include "trace/inst.hh"
+
+namespace storemlp
+{
+
+/** The two model classes studied by the paper. */
+enum class MemoryModel : uint8_t
+{
+    ProcessorConsistency, ///< SPARC TSO
+    WeakConsistency,      ///< PowerPC WC
+};
+
+/** Printable name. */
+const char *memoryModelName(MemoryModel m);
+
+/** What an instruction serializes before it may execute. */
+struct SerializeEffect
+{
+    /** Pipeline (ROB) must drain: no younger instruction executes
+     *  until all older instructions complete. */
+    bool pipelineDrain = false;
+    /** Store buffer and store queue must drain (commit) first. */
+    bool storeDrain = false;
+    /** Inserts an ordering fence into the store queue. */
+    bool storeFence = false;
+
+    bool any() const { return pipelineDrain || storeDrain || storeFence; }
+};
+
+/**
+ * Classify the serializing behaviour of an instruction under a model.
+ */
+SerializeEffect serializeEffect(InstClass cls, MemoryModel model);
+
+/** True if the model commits stores strictly in program order. */
+inline bool
+inOrderCommit(MemoryModel m)
+{
+    return m == MemoryModel::ProcessorConsistency;
+}
+
+/** True if retiring stores may coalesce with any eligible entry. */
+inline bool
+coalesceAnyEntry(MemoryModel m)
+{
+    return m == MemoryModel::WeakConsistency;
+}
+
+} // namespace storemlp
+
+#endif // STOREMLP_CONSISTENCY_MEMORY_MODEL_HH

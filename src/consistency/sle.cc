@@ -1,0 +1,13 @@
+/**
+ * @file
+ * SLE anchor translation unit (logic is header-inline).
+ */
+
+#include "consistency/sle.hh"
+
+namespace storemlp
+{
+
+// Sle is fully inline; this file anchors the module in the build.
+
+} // namespace storemlp

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text (key = value) serialization for SimConfig and
+ * WorkloadProfile, so experiments can be captured in version-
+ * controlled files and replayed exactly:
+ *
+ *   # oltp-aggressive.cfg
+ *   storePrefetch = sp2
+ *   memoryModel = wc
+ *   sle = true
+ *   storeQueueSize = 64
+ *
+ * Unknown keys are errors (catching typos beats silently ignoring a
+ * misspelled knob). Lines starting with '#' and blank lines are
+ * skipped.
+ */
+
+#ifndef STOREMLP_CORE_CONFIG_IO_HH
+#define STOREMLP_CORE_CONFIG_IO_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/sim_config.hh"
+#include "trace/workload.hh"
+
+namespace storemlp
+{
+
+/** Thrown on malformed or unknown configuration input. */
+class ConfigParseError : public std::runtime_error
+{
+  public:
+    explicit ConfigParseError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Parse a SimConfig from key=value text. Starts from defaults. */
+SimConfig loadSimConfig(std::istream &is);
+SimConfig loadSimConfigFile(const std::string &path);
+
+/** Serialize every SimConfig knob as key=value text. */
+void saveSimConfig(std::ostream &os, const SimConfig &config);
+
+/** Parse a WorkloadProfile from key=value text.
+ *  A `base = database|tpcw|specjbb|specweb|tiny` line (first) selects
+ *  the starting profile; later keys override individual knobs. */
+WorkloadProfile loadWorkloadProfile(std::istream &is);
+WorkloadProfile loadWorkloadProfileFile(const std::string &path);
+
+/** Serialize every WorkloadProfile knob as key=value text. */
+void saveWorkloadProfile(std::ostream &os, const WorkloadProfile &p);
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_CONFIG_IO_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Epoch model vocabulary: window-termination conditions (the eight
+ * categories of the paper's Figure 3) and off-chip miss kinds.
+ */
+
+#ifndef STOREMLP_CORE_EPOCH_HH
+#define STOREMLP_CORE_EPOCH_HH
+
+#include <cstdint>
+
+namespace storemlp
+{
+
+/** Kinds of off-chip accesses tracked by the epoch model. */
+enum class MissKind : uint8_t
+{
+    Load,
+    Store,
+    Inst,
+};
+
+/**
+ * Window-termination conditions, matching the legend of Figure 3.
+ * `None` marks provisional epochs that resolved quietly (the misses
+ * were fully overlapped with computation and no epoch is counted).
+ */
+enum class TermCond : uint8_t
+{
+    /** Store buffer full, not preceded by store queue full. */
+    StoreBufferFull = 0,
+    /** Store buffer full preceded by store queue full. */
+    SqStoreBufferFull,
+    /** ROB or issue window full preceded by store queue full. */
+    SqWindowFull,
+    /** Serializing instruction preceded by missing stores but not by
+     *  missing loads. */
+    StoreSerialize,
+    /** Serializing instruction preceded by at least one missing load. */
+    OtherSerialize,
+    /** Mispredicted branch dependent on a missing load. */
+    MispredBranch,
+    /** Missing instruction (off-chip instruction fetch). */
+    InstructionMiss,
+    /** ROB or issue window full, not preceded by store queue full. */
+    WindowFull,
+    NumConditions,
+    None,
+};
+
+/** Printable name for a termination condition. */
+const char *termCondName(TermCond c);
+
+/** Printable name for a miss kind. */
+const char *missKindName(MissKind k);
+
+constexpr unsigned kNumTermConds =
+    static_cast<unsigned>(TermCond::NumConditions);
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_EPOCH_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+
+#include "core/runner.hh"
+
+#include <memory>
+#include <vector>
+
+#include "coherence/bus.hh"
+#include "coherence/chip.hh"
+#include "coherence/traffic.hh"
+#include "core/mlp_sim.hh"
+#include "trace/generator.hh"
+#include "trace/lock_detector.hh"
+#include "trace/rewriter.hh"
+
+namespace storemlp
+{
+
+double
+RunOutput::smacInvalidatesPer1000() const
+{
+    return sim.instructions
+        ? 1000.0 * static_cast<double>(smacCoherenceInvalidates) /
+              static_cast<double>(sim.instructions)
+        : 0.0;
+}
+
+double
+RunOutput::smacHitInvalidPct() const
+{
+    uint64_t denom = chipStoreMisses ? chipStoreMisses : sim.missStores;
+    return denom
+        ? 100.0 * static_cast<double>(smacProbeHitInvalidated) /
+              static_cast<double>(denom)
+        : 0.0;
+}
+
+RunOutput
+Runner::run(const RunSpec &spec)
+{
+    // ---- build the trace ----
+    SyntheticTraceGenerator gen(spec.profile, spec.seed, 0);
+    Trace trace = gen.generate(spec.warmupInsts + spec.measureInsts);
+
+    // The paper simulates weak consistency by rewriting the PC trace's
+    // lock idioms (Section 4.2).
+    if (spec.config.memoryModel == MemoryModel::WeakConsistency) {
+        TraceRewriter rewriter;
+        trace = rewriter.toWeakConsistency(trace);
+    }
+
+    LockDetector detector;
+    LockAnalysis locks = detector.analyze(trace);
+
+    // ---- build the machine ----
+    HierarchyConfig hier_cfg;
+    SnoopBus bus;
+    std::vector<std::unique_ptr<ChipNode>> chips;
+    for (uint32_t c = 0; c < spec.numChips; ++c) {
+        chips.push_back(std::make_unique<ChipNode>(
+            hier_cfg, c, spec.smac, spec.protocol));
+        if (spec.numChips > 1)
+            chips.back()->connect(&bus);
+    }
+    ChipNode &local = *chips.front();
+
+    std::vector<std::unique_ptr<PeerTrafficAgent>> peers;
+    if (spec.peerTraffic) {
+        for (uint32_t c = 1; c < spec.numChips; ++c) {
+            peers.push_back(std::make_unique<PeerTrafficAgent>(
+                spec.profile, spec.seed + 1000 + c, *chips[c]));
+        }
+    }
+    if (spec.siblingCore) {
+        // The second core of the measured chip (paper Section 4.3:
+        // "two single-threaded cores sharing an L2 cache").
+        peers.push_back(std::make_unique<PeerTrafficAgent>(
+            spec.profile, spec.seed + 77, local,
+            static_cast<int>(spec.numChips) + 1));
+    }
+
+    if (spec.prefillL2) {
+        // Fill each L2 with clean placeholder lines from a reserved
+        // region so real traffic immediately contends for capacity.
+        constexpr uint64_t kPrefillBase = 0xF00000000000ULL;
+        constexpr uint64_t kPrefillStride = 0x001000000000ULL;
+        for (uint32_t c = 0; c < spec.numChips; ++c) {
+            SetAssocCache &l2 = chips[c]->hierarchy().l2();
+            uint64_t lines =
+                l2.config().sizeBytes / l2.config().lineBytes;
+            uint64_t base = kPrefillBase + c * kPrefillStride;
+            for (uint64_t i = 0; i < lines; ++i)
+                l2.access(base + i * l2.config().lineBytes, false);
+        }
+    }
+
+    SimConfig cfg = spec.config;
+    cfg.cpiOnChip = spec.profile.cpiOnChip;
+
+    MlpSimulator sim(cfg, local, &locks);
+    if (!peers.empty()) {
+        sim.setPeerHook([&peers](uint64_t delta) {
+            for (auto &p : peers)
+                p->step(delta);
+        });
+    }
+
+    // ---- warm, reset, measure ----
+    uint64_t warmup_end = std::min<uint64_t>(spec.warmupInsts,
+                                             trace.size());
+    sim.process(trace, 0, warmup_end, false);
+    local.resetStats();
+    bus.resetStats();
+
+    sim.process(trace, warmup_end, trace.size(), true);
+    RunOutput out;
+    out.sim = sim.takeResult();
+
+    // ---- Table 1 style rates over the measured records ----
+    uint64_t stores = 0;
+    for (uint64_t i = warmup_end; i < trace.size(); ++i) {
+        if (isStoreClass(trace[i].cls))
+            ++stores;
+    }
+    uint64_t measured = trace.size() - warmup_end;
+    if (measured) {
+        double n = static_cast<double>(measured);
+        out.storesPer100 = 100.0 * static_cast<double>(stores) / n;
+        out.storeMissPer100 = 100.0 *
+            static_cast<double>(local.hierarchy().storeL2Misses()) / n;
+        out.loadMissPer100 = 100.0 *
+            static_cast<double>(local.hierarchy().loadL2Misses()) / n;
+        out.instMissPer100 = 100.0 *
+            static_cast<double>(local.hierarchy().instL2Misses()) / n;
+    }
+    out.l2Accesses = local.hierarchy().l2Accesses();
+    if (measured) {
+        out.tlbMissPer100 = 100.0 *
+            static_cast<double>(local.tlb().misses()) /
+            static_cast<double>(measured);
+    }
+
+    out.chipStoreMisses = local.hierarchy().storeL2Misses();
+    if (const Smac *smac = local.smac()) {
+        out.smacCoherenceInvalidates = smac->coherenceInvalidates();
+        out.smacProbeHits = smac->probeHits();
+        out.smacProbeHitInvalidated = smac->probeHitInvalidated();
+    }
+    for (auto &p : peers)
+        out.peerInstructions += p->instructionsRetired();
+    return out;
+}
+
+Runner::MissRates
+Runner::measureMissRates(const WorkloadProfile &profile, uint64_t seed,
+                         uint64_t warmup_insts, uint64_t measure_insts)
+{
+    SyntheticTraceGenerator gen(profile, seed, 0);
+    Trace trace = gen.generate(warmup_insts + measure_insts);
+
+    CacheHierarchy hier;
+    uint64_t stores = 0;
+
+    auto access = [&](const TraceRecord &r) {
+        hier.instFetch(r.pc);
+        if (isLoadClass(r.cls))
+            hier.load(r.addr);
+        if (isStoreClass(r.cls))
+            hier.store(r.addr);
+    };
+
+    uint64_t warmup_end = std::min<uint64_t>(warmup_insts, trace.size());
+    for (uint64_t i = 0; i < warmup_end; ++i)
+        access(trace[i]);
+    hier.resetStats();
+
+    for (uint64_t i = warmup_end; i < trace.size(); ++i) {
+        access(trace[i]);
+        if (isStoreClass(trace[i].cls))
+            ++stores;
+    }
+
+    MissRates rates;
+    uint64_t measured = trace.size() - warmup_end;
+    if (!measured)
+        return rates;
+    double n = static_cast<double>(measured);
+    rates.storesPer100 = 100.0 * static_cast<double>(stores) / n;
+    rates.storeMissPer100 =
+        100.0 * static_cast<double>(hier.storeL2Misses()) / n;
+    rates.loadMissPer100 =
+        100.0 * static_cast<double>(hier.loadL2Misses()) / n;
+    rates.instMissPer100 =
+        100.0 * static_cast<double>(hier.instL2Misses()) / n;
+    return rates;
+}
+
+} // namespace storemlp

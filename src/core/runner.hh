@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment runner: the convenience layer that assembles a full
+ * experiment — synthetic trace, optional PC->WC rewrite, lock
+ * analysis, chips/bus/SMAC, peer traffic — warms it up and measures,
+ * mirroring the paper's methodology (Section 4.2): warm the caches on
+ * a prefix of the trace, then collect statistics on the remainder.
+ */
+
+#ifndef STOREMLP_CORE_RUNNER_HH
+#define STOREMLP_CORE_RUNNER_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "coherence/mesi.hh"
+#include "coherence/smac.hh"
+#include "core/sim_config.hh"
+#include "core/sim_result.hh"
+#include "trace/workload.hh"
+
+namespace storemlp
+{
+
+/** Everything needed to reproduce one experimental data point. */
+struct RunSpec
+{
+    WorkloadProfile profile;
+    SimConfig config;
+
+    uint64_t seed = 42;
+    uint64_t warmupInsts = 200 * 1000;
+    uint64_t measureInsts = 1000 * 1000;
+
+    /** Number of chips in the multiprocessor (paper default: 2). */
+    uint32_t numChips = 1;
+    /** SMAC configuration, instantiated on every chip. */
+    std::optional<SmacConfig> smac;
+    /** Cross-chip coherence protocol (paper assumes MESI). */
+    CoherenceProtocol protocol = CoherenceProtocol::Mesi;
+    /** Drive remote chips with peer workload traffic. */
+    bool peerTraffic = false;
+    /**
+     * Model the paper's second core per chip: a sibling thread of the
+     * same workload sharing the L2, stepped in lockstep with the
+     * measured core. Provides the L2 capacity pressure that cycles
+     * modified lines into the SMAC. Enabled for the SMAC experiments.
+     */
+    bool siblingCore = false;
+    /**
+     * Pre-fill every chip's L2 with placeholder lines before warmup
+     * so the cache starts at steady-state occupancy (real systems run
+     * with a full L2; without this, short simulations never reach the
+     * capacity evictions that populate the SMAC). The paper used 1B
+     * warmup instructions for the same reason (Section 4.2).
+     */
+    bool prefillL2 = true;
+};
+
+/** Results of one experiment. */
+struct RunOutput
+{
+    SimResult sim;
+
+    // ---- Table 1 style rates over the measured interval ----
+    double storesPer100 = 0.0;   ///< dynamic store frequency
+    double storeMissPer100 = 0.0;
+    double loadMissPer100 = 0.0;
+    double instMissPer100 = 0.0;
+
+    // ---- bandwidth ----
+    uint64_t l2Accesses = 0;
+    /** Data TLB misses per 100 instructions (2K-entry shared TLB). */
+    double tlbMissPer100 = 0.0;
+
+    // ---- SMAC (Figure 6) ----
+    uint64_t smacCoherenceInvalidates = 0;
+    uint64_t smacProbeHits = 0;
+    uint64_t smacProbeHitInvalidated = 0;
+
+    uint64_t peerInstructions = 0;
+    /** Chip-level (both cores) off-chip store misses. */
+    uint64_t chipStoreMisses = 0;
+
+    /** SMAC invalidates per 1000 measured instructions. */
+    double smacInvalidatesPer1000() const;
+    /** % of the chip's missing stores finding a coherence-
+     *  invalidated entry (Figure 6 right panel). */
+    double smacHitInvalidPct() const;
+};
+
+/** Orchestrates experiments. */
+class Runner
+{
+  public:
+    /** Run one full epoch-model experiment. */
+    static RunOutput run(const RunSpec &spec);
+
+    /**
+     * Cache-only measurement of the paper's Table 1 statistics: no
+     * epoch engine, no prefetching — the raw miss rates of the
+     * workload against the default hierarchy.
+     */
+    struct MissRates
+    {
+        double storesPer100 = 0.0;
+        double storeMissPer100 = 0.0;
+        double loadMissPer100 = 0.0;
+        double instMissPer100 = 0.0;
+    };
+    static MissRates measureMissRates(const WorkloadProfile &profile,
+                                      uint64_t seed,
+                                      uint64_t warmup_insts,
+                                      uint64_t measure_insts);
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_RUNNER_HH

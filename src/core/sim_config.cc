@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Named configurations used throughout the evaluation.
+ */
+
+#include "core/sim_config.hh"
+
+namespace storemlp
+{
+
+SimConfig
+SimConfig::defaults()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::pc2()
+{
+    SimConfig c;
+    c.name = "PC2";
+    c.prefetchPastSerializing = true;
+    return c;
+}
+
+SimConfig
+SimConfig::pc3()
+{
+    SimConfig c = pc2();
+    c.name = "PC3";
+    c.sle = true;
+    return c;
+}
+
+SimConfig
+SimConfig::wc1()
+{
+    SimConfig c;
+    c.name = "WC1";
+    c.memoryModel = MemoryModel::WeakConsistency;
+    return c;
+}
+
+SimConfig
+SimConfig::wc2()
+{
+    SimConfig c = wc1();
+    c.name = "WC2";
+    c.prefetchPastSerializing = true;
+    return c;
+}
+
+SimConfig
+SimConfig::wc3()
+{
+    SimConfig c = wc2();
+    c.name = "WC3";
+    c.sle = true;
+    return c;
+}
+
+SimConfig
+SimConfig::withPrefetch(StorePrefetch sp) const
+{
+    SimConfig c = *this;
+    c.storePrefetch = sp;
+    return c;
+}
+
+SimConfig
+SimConfig::withScout(ScoutMode sm) const
+{
+    SimConfig c = *this;
+    c.scout = sm;
+    return c;
+}
+
+const char *
+storePrefetchName(StorePrefetch sp)
+{
+    switch (sp) {
+      case StorePrefetch::None: return "Sp0";
+      case StorePrefetch::AtRetire: return "Sp1";
+      case StorePrefetch::AtExecute: return "Sp2";
+      default: return "?";
+    }
+}
+
+const char *
+scoutModeName(ScoutMode sm)
+{
+    switch (sm) {
+      case ScoutMode::Off: return "NoHWS";
+      case ScoutMode::Hws0: return "HWS0";
+      case ScoutMode::Hws1: return "HWS1";
+      case ScoutMode::Hws2: return "HWS2";
+      default: return "?";
+    }
+}
+
+} // namespace storemlp

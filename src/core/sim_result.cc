@@ -1,0 +1,213 @@
+/**
+ * @file
+ * SimResult derived metrics and reporting.
+ */
+
+#include "core/sim_result.hh"
+
+#include <ostream>
+
+#include "stats/table.hh"
+
+namespace storemlp
+{
+
+const char *
+termCondName(TermCond c)
+{
+    switch (c) {
+      case TermCond::StoreBufferFull: return "StoreBufferFull";
+      case TermCond::SqStoreBufferFull: return "SQ+StoreBufferFull";
+      case TermCond::SqWindowFull: return "SQ+WindowFull";
+      case TermCond::StoreSerialize: return "StoreSerialize";
+      case TermCond::OtherSerialize: return "OtherSerialize";
+      case TermCond::MispredBranch: return "MispredBranch";
+      case TermCond::InstructionMiss: return "InstructionMiss";
+      case TermCond::WindowFull: return "WindowFull";
+      case TermCond::None: return "None";
+      default: return "?";
+    }
+}
+
+const char *
+missKindName(MissKind k)
+{
+    switch (k) {
+      case MissKind::Load: return "load";
+      case MissKind::Store: return "store";
+      case MissKind::Inst: return "inst";
+      default: return "?";
+    }
+}
+
+double
+SimResult::epi() const
+{
+    return instructions
+        ? static_cast<double>(epochs) / static_cast<double>(instructions)
+        : 0.0;
+}
+
+double
+SimResult::epochsPer1000() const
+{
+    return epi() * 1000.0;
+}
+
+double
+SimResult::mlp() const
+{
+    return epochs
+        ? static_cast<double>(epochMisses) / static_cast<double>(epochs)
+        : 0.0;
+}
+
+double
+SimResult::storeMlp() const
+{
+    return storeMlpHist.mean();
+}
+
+double
+SimResult::offChipCpi(uint32_t miss_latency) const
+{
+    return epi() * static_cast<double>(miss_latency);
+}
+
+double
+SimResult::overlappedStoreFraction() const
+{
+    return missStores
+        ? static_cast<double>(overlappedStores) /
+              static_cast<double>(missStores)
+        : 0.0;
+}
+
+double
+SimResult::termFraction(TermCond c) const
+{
+    if (!epochs || c >= TermCond::NumConditions)
+        return 0.0;
+    return static_cast<double>(termCounts[static_cast<unsigned>(c)]) /
+        static_cast<double>(epochs);
+}
+
+double
+SimResult::termFractionStoreEpochs(TermCond c) const
+{
+    if (!epochs || c >= TermCond::NumConditions)
+        return 0.0;
+    return static_cast<double>(
+               termCountsStoreEpochs[static_cast<unsigned>(c)]) /
+        static_cast<double>(epochs);
+}
+
+double
+SimResult::storeEpochFraction() const
+{
+    return epochs
+        ? static_cast<double>(storeMlpHist.total()) /
+              static_cast<double>(epochs)
+        : 0.0;
+}
+
+double
+SimResult::missLoadsPer100() const
+{
+    return instructions
+        ? 100.0 * static_cast<double>(missLoads) /
+              static_cast<double>(instructions)
+        : 0.0;
+}
+
+double
+SimResult::missStoresPer100() const
+{
+    return instructions
+        ? 100.0 * static_cast<double>(missStores) /
+              static_cast<double>(instructions)
+        : 0.0;
+}
+
+double
+SimResult::missInstsPer100() const
+{
+    return instructions
+        ? 100.0 * static_cast<double>(missInsts) /
+              static_cast<double>(instructions)
+        : 0.0;
+}
+
+void
+SimResult::merge(const SimResult &other)
+{
+    instructions += other.instructions;
+    epochs += other.epochs;
+    missLoads += other.missLoads;
+    missStores += other.missStores;
+    missInsts += other.missInsts;
+    epochMisses += other.epochMisses;
+    epochMissLoads += other.epochMissLoads;
+    epochMissStores += other.epochMissStores;
+    epochMissInsts += other.epochMissInsts;
+    overlappedStores += other.overlappedStores;
+    smacAcceleratedStores += other.smacAcceleratedStores;
+    for (unsigned i = 0; i < kNumTermConds; ++i) {
+        termCounts[i] += other.termCounts[i];
+        termCountsStoreEpochs[i] += other.termCountsStoreEpochs[i];
+    }
+    l2StoreAccesses += other.l2StoreAccesses;
+    storePrefetchesIssued += other.storePrefetchesIssued;
+    coalescedStores += other.coalescedStores;
+    sqInserts += other.sqInserts;
+    scoutEntries += other.scoutEntries;
+    scoutPrefetches += other.scoutPrefetches;
+    elidedLocks += other.elidedLocks;
+    tmAborts += other.tmAborts;
+    serializeStalls += other.serializeStalls;
+    branchMispredicts += other.branchMispredicts;
+    branches += other.branches;
+    onChipCycles += other.onChipCycles;
+
+    for (unsigned b = 0; b <= mlpHist.maxBucket(); ++b)
+        mlpHist.sample(b, other.mlpHist.bucket(b));
+    for (unsigned b = 0; b <= storeMlpHist.maxBucket(); ++b)
+        storeMlpHist.sample(b, other.storeMlpHist.bucket(b));
+    for (unsigned x = 0; x <= storeVsOtherMlp.maxX(); ++x)
+        for (unsigned y = 0; y <= storeVsOtherMlp.maxY(); ++y)
+            storeVsOtherMlp.sample(x, y, other.storeVsOtherMlp.cell(x, y));
+}
+
+void
+SimResult::print(std::ostream &os) const
+{
+    os << "instructions        " << instructions << "\n"
+       << "epochs              " << epochs << "\n"
+       << "epochs/1000 inst    " << formatFixed(epochsPer1000(), 3) << "\n"
+       << "MLP                 " << formatFixed(mlp(), 3) << "\n"
+       << "store MLP           " << formatFixed(storeMlp(), 3) << "\n"
+       << "miss loads /100     " << formatFixed(missLoadsPer100(), 3)
+       << "\n"
+       << "miss stores/100     " << formatFixed(missStoresPer100(), 3)
+       << "\n"
+       << "miss insts /100     " << formatFixed(missInstsPer100(), 3)
+       << "\n"
+       << "overlapped stores   " << formatFixed(overlappedStoreFraction(),
+                                                3)
+       << "\n"
+       << "epoch misses        " << epochMisses << " (" << epochMissLoads
+       << " ld / " << epochMissStores << " st / " << epochMissInsts
+       << " if)\n";
+    os << "terminations:\n";
+    for (unsigned i = 0; i < kNumTermConds; ++i) {
+        if (!termCounts[i])
+            continue;
+        os << "  " << termCondName(static_cast<TermCond>(i)) << "  "
+           << termCounts[i] << " ("
+           << formatFixed(termFraction(static_cast<TermCond>(i)) * 100.0,
+                          1)
+           << "%)\n";
+    }
+}
+
+} // namespace storemlp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Simulation results: every metric the paper reports — EPI (epochs
+ * per instruction), MLP, store MLP, the joint store/(load+inst) MLP
+ * distribution (Figure 4), the window-termination breakdown (Figure
+ * 3), the fully-overlapped-store fraction (Table 2), plus bandwidth
+ * and optimization-specific counters.
+ */
+
+#ifndef STOREMLP_CORE_SIM_RESULT_HH
+#define STOREMLP_CORE_SIM_RESULT_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/epoch.hh"
+#include "stats/histogram.hh"
+
+namespace storemlp
+{
+
+/** All statistics from one measured simulation interval. */
+struct SimResult
+{
+    // ---- core counts ----
+    uint64_t instructions = 0;
+    uint64_t epochs = 0;
+
+    // ---- off-chip misses in the measured interval, by kind ----
+    uint64_t missLoads = 0;
+    uint64_t missStores = 0;
+    uint64_t missInsts = 0;
+
+    /** Misses resolved inside counted epochs (overlap accounting). */
+    uint64_t epochMisses = 0;
+    /** Per-kind breakdown of epochMisses. */
+    uint64_t epochMissLoads = 0;
+    uint64_t epochMissStores = 0;
+    uint64_t epochMissInsts = 0;
+
+    /** Missing stores whose latency was fully hidden by computation
+     *  (no epoch formed while they were in flight) — Table 2. */
+    uint64_t overlappedStores = 0;
+    /** Missing stores accelerated by the SMAC (never stalled). */
+    uint64_t smacAcceleratedStores = 0;
+
+    // ---- distributions ----
+    /** MLP over counted epochs (all miss kinds). */
+    BoundedHistogram mlpHist{10};
+    /** Store MLP over epochs with >= 1 missing store. */
+    BoundedHistogram storeMlpHist{10};
+    /** Joint (store MLP, load+inst MLP) distribution — Figure 4. */
+    JointHistogram storeVsOtherMlp{10, 5};
+    /** Window-termination condition counts — Figure 3. */
+    std::array<uint64_t, kNumTermConds> termCounts{};
+    /** Termination counts restricted to epochs with store MLP >= 1
+     *  (Figure 3 plots fractions of these). */
+    std::array<uint64_t, kNumTermConds> termCountsStoreEpochs{};
+
+    // ---- bandwidth / optimization counters ----
+    uint64_t l2StoreAccesses = 0;     ///< commits reaching the L2
+    uint64_t storePrefetchesIssued = 0;
+    uint64_t coalescedStores = 0;
+    uint64_t sqInserts = 0;
+    uint64_t scoutEntries = 0;        ///< times scout mode was entered
+    uint64_t scoutPrefetches = 0;     ///< prefetches issued in scout
+    uint64_t elidedLocks = 0;         ///< SLE: elided acquires
+    uint64_t tmAborts = 0;            ///< TM: aborted transactions
+    uint64_t serializeStalls = 0;     ///< serializing-instruction waits
+    uint64_t branchMispredicts = 0;
+    uint64_t branches = 0;
+
+    /** On-chip cycles accumulated (CPIon-chip x instructions etc.). */
+    double onChipCycles = 0.0;
+
+    // ---- derived metrics ----
+    /** Epochs per instruction. */
+    double epi() const;
+    /** Epochs per 1000 instructions (the figures' y-axis). */
+    double epochsPer1000() const;
+    /** MLP: off-chip accesses per epoch (epoch-model definition). */
+    double mlp() const;
+    /** Store MLP: mean missing stores over epochs with >= 1. */
+    double storeMlp() const;
+    /** Off-chip CPI for a given miss penalty (Section 3.4). */
+    double offChipCpi(uint32_t miss_latency) const;
+    /** Fraction of missing stores fully overlapped with computation. */
+    double overlappedStoreFraction() const;
+    /** Fraction of counted epochs terminated by condition c. */
+    double termFraction(TermCond c) const;
+    /** Fraction of ALL epochs that both contain a missing store and
+     *  terminated by condition c (Figure 3's segment heights). */
+    double termFractionStoreEpochs(TermCond c) const;
+    /** Fraction of epochs with at least one missing store. */
+    double storeEpochFraction() const;
+
+    /** Misses per 100 instructions, by kind (Table 1 reporting). */
+    double missLoadsPer100() const;
+    double missStoresPer100() const;
+    double missInstsPer100() const;
+
+    /** Merge counters from another interval (multi-segment runs). */
+    void merge(const SimResult &other);
+
+    /** Human-readable one-config dump (examples/debugging). */
+    void print(std::ostream &os) const;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_SIM_RESULT_HH

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Out-of-line home for Counter (currently header-only logic).
+ */
+
+#include "stats/counter.hh"
+
+namespace storemlp
+{
+
+// Counter and RunningMean are fully inline; this translation unit anchors
+// the module in the build so future non-inline additions have a home.
+
+} // namespace storemlp

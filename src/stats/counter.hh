@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simple named counters used throughout the simulator.
+ */
+
+#ifndef STOREMLP_STATS_COUNTER_HH
+#define STOREMLP_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace storemlp
+{
+
+/**
+ * A monotonically increasing event counter with a name, suitable for
+ * aggregation into stat dumps.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : _name(std::move(name)) {}
+
+    void operator++() { ++_value; }
+    void operator++(int) { ++_value; }
+    void add(uint64_t n) { _value += n; }
+    void reset() { _value = 0; }
+
+    uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+
+    /** Rate of this counter per `per` units of the given denominator. */
+    double
+    rate(uint64_t denominator, double per = 1000.0) const
+    {
+        if (denominator == 0)
+            return 0.0;
+        return static_cast<double>(_value) * per
+            / static_cast<double>(denominator);
+    }
+
+  private:
+    std::string _name;
+    uint64_t _value = 0;
+};
+
+/**
+ * A running mean over observed samples (e.g. MLP averaged over epochs).
+ */
+class RunningMean
+{
+  public:
+    void
+    sample(double v)
+    {
+        _sum += v;
+        ++_count;
+    }
+
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    void reset() { _sum = 0.0; _count = 0; }
+
+  private:
+    double _sum = 0.0;
+    uint64_t _count = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_STATS_COUNTER_HH

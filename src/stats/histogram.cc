@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Histogram implementations.
+ */
+
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace storemlp
+{
+
+BoundedHistogram::BoundedHistogram(unsigned max_bucket)
+    : _maxBucket(max_bucket), _buckets(max_bucket + 1, 0)
+{
+}
+
+void
+BoundedHistogram::sample(uint64_t v, uint64_t weight)
+{
+    unsigned b = v > _maxBucket ? _maxBucket : static_cast<unsigned>(v);
+    _buckets[b] += weight;
+    _total += weight;
+    _sum += static_cast<double>(v) * static_cast<double>(weight);
+}
+
+void
+BoundedHistogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _total = 0;
+    _sum = 0.0;
+}
+
+uint64_t
+BoundedHistogram::bucket(unsigned b) const
+{
+    assert(b <= _maxBucket);
+    return _buckets[b];
+}
+
+double
+BoundedHistogram::mean() const
+{
+    return _total ? _sum / static_cast<double>(_total) : 0.0;
+}
+
+double
+BoundedHistogram::fraction(unsigned b) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(bucket(b)) / static_cast<double>(_total);
+}
+
+JointHistogram::JointHistogram(unsigned max_x, unsigned max_y)
+    : _maxX(max_x), _maxY(max_y), _cells((max_x + 1) * (max_y + 1), 0)
+{
+}
+
+void
+JointHistogram::sample(uint64_t x, uint64_t y, uint64_t weight)
+{
+    unsigned bx = x > _maxX ? _maxX : static_cast<unsigned>(x);
+    unsigned by = y > _maxY ? _maxY : static_cast<unsigned>(y);
+    _cells[bx * (_maxY + 1) + by] += weight;
+    _total += weight;
+}
+
+void
+JointHistogram::reset()
+{
+    std::fill(_cells.begin(), _cells.end(), 0);
+    _total = 0;
+}
+
+uint64_t
+JointHistogram::cell(unsigned x, unsigned y) const
+{
+    assert(x <= _maxX && y <= _maxY);
+    return _cells[x * (_maxY + 1) + y];
+}
+
+uint64_t
+JointHistogram::marginalX(unsigned x) const
+{
+    assert(x <= _maxX);
+    uint64_t s = 0;
+    for (unsigned y = 0; y <= _maxY; ++y)
+        s += cell(x, y);
+    return s;
+}
+
+double
+JointHistogram::fraction(unsigned x, unsigned y) const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(cell(x, y)) / static_cast<double>(_total);
+}
+
+} // namespace storemlp

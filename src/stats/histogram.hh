@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bounded 1-D and joint 2-D histograms used for MLP distributions
+ * (paper Figure 4) and window-termination breakdowns (Figure 3).
+ */
+
+#ifndef STOREMLP_STATS_HISTOGRAM_HH
+#define STOREMLP_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace storemlp
+{
+
+/**
+ * A histogram over the integers [0, maxBucket]; samples above maxBucket
+ * are clamped into the final (">=") bucket, matching the paper's
+ * ">=5" / ">=10" presentation.
+ */
+class BoundedHistogram
+{
+  public:
+    explicit BoundedHistogram(unsigned max_bucket = 10);
+
+    void sample(uint64_t v, uint64_t weight = 1);
+    void reset();
+
+    /** Count in bucket b (b == maxBucket() is the clamp bucket). */
+    uint64_t bucket(unsigned b) const;
+    unsigned maxBucket() const { return _maxBucket; }
+    uint64_t total() const { return _total; }
+    /** Sum of (unclamped) sampled values; used for means. */
+    double sum() const { return _sum; }
+    double mean() const;
+    /** Fraction of samples in bucket b. */
+    double fraction(unsigned b) const;
+
+  private:
+    unsigned _maxBucket;
+    std::vector<uint64_t> _buckets;
+    uint64_t _total = 0;
+    double _sum = 0.0;
+};
+
+/**
+ * A joint histogram over pairs (x, y) with independent clamps; used for
+ * the store MLP x (load+inst MLP) distribution of Figure 4.
+ */
+class JointHistogram
+{
+  public:
+    JointHistogram(unsigned max_x = 10, unsigned max_y = 5);
+
+    void sample(uint64_t x, uint64_t y, uint64_t weight = 1);
+    void reset();
+
+    uint64_t cell(unsigned x, unsigned y) const;
+    /** Total over all cells. */
+    uint64_t total() const { return _total; }
+    /** Marginal count for x (summed over y). */
+    uint64_t marginalX(unsigned x) const;
+    unsigned maxX() const { return _maxX; }
+    unsigned maxY() const { return _maxY; }
+    double fraction(unsigned x, unsigned y) const;
+
+  private:
+    unsigned _maxX;
+    unsigned _maxY;
+    std::vector<uint64_t> _cells; // (maxX+1) x (maxY+1), row-major in x
+    uint64_t _total = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_STATS_HISTOGRAM_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace storemlp
+{
+
+std::string
+formatFixed(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+void
+TextTable::header(std::vector<std::string> cols)
+{
+    _header = std::move(cols);
+}
+
+void
+TextTable::beginRow()
+{
+    _rows.emplace_back();
+}
+
+void
+TextTable::cell(const std::string &s)
+{
+    assert(!_rows.empty());
+    _rows.back().push_back(s);
+}
+
+void
+TextTable::cell(double v, int precision)
+{
+    cell(formatFixed(v, precision));
+}
+
+void
+TextTable::cell(uint64_t v)
+{
+    cell(std::to_string(v));
+}
+
+const std::string &
+TextTable::at(size_t row, size_t col) const
+{
+    assert(row < _rows.size() && col < _rows[row].size());
+    return _rows[row][col];
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute column widths over header and all rows.
+    std::vector<size_t> widths(_header.size(), 0);
+    for (size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    os << "== " << _title << " ==\n";
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &s = c < row.size() ? row[c] : std::string();
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << s;
+        }
+        os << "\n";
+    };
+    emit_row(_header);
+    std::string rule;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += std::string(widths[c] + 2, '-');
+    os << rule << "\n";
+    for (const auto &row : _rows)
+        emit_row(row);
+    os << "\n";
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace storemlp

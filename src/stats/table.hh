@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness. Each bench
+ * binary prints paper-style rows through this formatter so that output
+ * is uniform and machine-greppable.
+ */
+
+#ifndef STOREMLP_STATS_TABLE_HH
+#define STOREMLP_STATS_TABLE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace storemlp
+{
+
+/**
+ * A simple column-aligned text table with a title, a header row and
+ * string/numeric cells. Used by every bench target.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cols);
+
+    /** Begin a new row. */
+    void beginRow();
+    /** Append a string cell to the current row. */
+    void cell(const std::string &s);
+    /** Append a numeric cell formatted to `precision` decimals. */
+    void cell(double v, int precision = 2);
+    /** Append an integer cell. */
+    void cell(uint64_t v);
+
+    /** Render to the stream with column alignment. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (no title). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rows() const { return _rows.size(); }
+    size_t columns() const { return _header.size(); }
+    const std::string &title() const { return _title; }
+
+    /** Access a cell for programmatic checks (tests). */
+    const std::string &at(size_t row, size_t col) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatFixed(double v, int precision);
+
+} // namespace storemlp
+
+#endif // STOREMLP_STATS_TABLE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction-trace record definitions.
+ *
+ * The trace vocabulary is SPARC/PowerPC flavoured because the paper's
+ * two memory-consistency case studies are SPARC TSO (processor
+ * consistency) and PowerPC WC (weak consistency). A processor-
+ * consistency trace uses `AtomicCas` (casa) for lock acquires and
+ * `Membar` for explicit fences; the PC->WC rewriter replaces lock
+ * idioms with `LoadLocked`/`StoreCond` + `Isync` and `Lwsync`.
+ */
+
+#ifndef STOREMLP_TRACE_INST_HH
+#define STOREMLP_TRACE_INST_HH
+
+#include <cstdint>
+
+namespace storemlp
+{
+
+/** Dynamic instruction classes understood by the epoch model. */
+enum class InstClass : uint8_t
+{
+    Alu,        ///< register-to-register computation
+    Load,       ///< memory load
+    Store,      ///< memory store
+    Branch,     ///< conditional/unconditional control transfer
+    AtomicCas,  ///< SPARC casa: atomic load+store, serializing under TSO
+    Membar,     ///< SPARC membar: full fence, serializing under TSO
+    LoadLocked, ///< PowerPC lwarx: load with reservation
+    StoreCond,  ///< PowerPC stwcx.: store conditional
+    Isync,      ///< PowerPC isync: pipeline drain, no store-queue drain
+    Lwsync,     ///< PowerPC lwsync: store-ordering fence in the queue
+    NumClasses
+};
+
+/** Per-record flag bits. */
+enum InstFlags : uint8_t
+{
+    kFlagTaken = 1 << 0,       ///< branch outcome was taken
+    kFlagLockAcquire = 1 << 1, ///< generator ground truth: lock acquire
+    kFlagLockRelease = 1 << 2, ///< generator ground truth: lock release
+};
+
+/**
+ * One dynamic instruction. Register ids are 1..63; 0 means "no
+ * register". `addr`/`size` are meaningful for memory classes only.
+ */
+struct TraceRecord
+{
+    uint64_t pc = 0;
+    uint64_t addr = 0;
+    InstClass cls = InstClass::Alu;
+    uint8_t size = 0;
+    uint8_t dst = 0;
+    uint8_t src1 = 0;
+    uint8_t src2 = 0;
+    uint8_t flags = 0;
+
+    bool taken() const { return flags & kFlagTaken; }
+    bool lockAcquire() const { return flags & kFlagLockAcquire; }
+    bool lockRelease() const { return flags & kFlagLockRelease; }
+};
+
+/** True if the instruction reads memory. */
+inline bool
+isLoadClass(InstClass c)
+{
+    return c == InstClass::Load || c == InstClass::AtomicCas ||
+        c == InstClass::LoadLocked;
+}
+
+/** True if the instruction writes memory. */
+inline bool
+isStoreClass(InstClass c)
+{
+    return c == InstClass::Store || c == InstClass::AtomicCas ||
+        c == InstClass::StoreCond;
+}
+
+/** True if the instruction accesses memory at all. */
+inline bool
+isMemClass(InstClass c)
+{
+    return isLoadClass(c) || isStoreClass(c);
+}
+
+/** True for fence/sync-style instructions (no memory address). */
+inline bool
+isBarrierClass(InstClass c)
+{
+    return c == InstClass::Membar || c == InstClass::Isync ||
+        c == InstClass::Lwsync;
+}
+
+/** Printable mnemonic for diagnostics. */
+const char *instClassName(InstClass c);
+
+} // namespace storemlp
+
+#endif // STOREMLP_TRACE_INST_HH

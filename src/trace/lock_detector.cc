@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Lock detector implementation.
+ */
+
+#include "trace/lock_detector.hh"
+
+#include <unordered_map>
+
+namespace storemlp
+{
+
+LockAnalysis
+LockDetector::analyze(const Trace &trace) const
+{
+    LockAnalysis out;
+    out.roles.assign(trace.size(), LockRole::None);
+
+    // addr -> index of the open (unmatched) acquire
+    std::unordered_map<uint64_t, uint64_t> open;
+
+    for (uint64_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &r = trace[i];
+
+        if (r.cls == InstClass::AtomicCas) {
+            // PC idiom. A new casa to the same address supersedes a
+            // stale unmatched one.
+            open[r.addr] = i;
+            continue;
+        }
+
+        if (r.cls == InstClass::LoadLocked) {
+            // WC idiom: lwarx must be completed by stwcx to the same
+            // address; a trailing isync is part of the acquire.
+            if (i + 1 < trace.size() &&
+                trace[i + 1].cls == InstClass::StoreCond &&
+                trace[i + 1].addr == r.addr) {
+                open[r.addr] = i;
+            }
+            continue;
+        }
+
+        if (r.cls == InstClass::Store) {
+            auto it = open.find(r.addr);
+            if (it == open.end())
+                continue;
+            uint64_t acq = it->second;
+            if (i - acq > _window) {
+                // Critical section implausibly long: treat the atomic
+                // as a bare CAS, not a lock acquire.
+                open.erase(it);
+                continue;
+            }
+            out.pairs.push_back({acq, i, r.addr});
+            out.roles[acq] = LockRole::Acquire;
+            out.roles[i] = LockRole::Release;
+
+            // Annotate the auxiliary instructions of WC sequences.
+            if (trace[acq].cls == InstClass::LoadLocked) {
+                out.roles[acq + 1] = LockRole::AcquireAux; // stwcx
+                if (acq + 2 < trace.size() &&
+                    trace[acq + 2].cls == InstClass::Isync) {
+                    out.roles[acq + 2] = LockRole::AcquireAux;
+                }
+            }
+            if (i > 0 && trace[i - 1].cls == InstClass::Lwsync)
+                out.roles[i - 1] = LockRole::ReleaseAux;
+
+            open.erase(it);
+        }
+    }
+    return out;
+}
+
+} // namespace storemlp

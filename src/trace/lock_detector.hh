@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lock detection tool. The paper's methodology (Section 4.2): to
+ * simulate weak consistency with processor-consistency traces, "a lock
+ * detection tool was developed to identify all the lock acquisition
+ * and lock release instruction sequences in the traces". This is that
+ * tool: it pairs `casa` acquires with the subsequent release store to
+ * the same address, purely from the instruction stream — the
+ * generator's ground-truth flags are used only by tests to validate
+ * the detector.
+ */
+
+#ifndef STOREMLP_TRACE_LOCK_DETECTOR_HH
+#define STOREMLP_TRACE_LOCK_DETECTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace storemlp
+{
+
+/** One detected critical section. */
+struct LockPair
+{
+    uint64_t acquireIdx = 0; ///< trace index of the casa
+    uint64_t releaseIdx = 0; ///< trace index of the release store
+    uint64_t lockAddr = 0;
+};
+
+/** Per-instruction lock role, indexable by trace position. */
+enum class LockRole : uint8_t
+{
+    None = 0,
+    Acquire,    ///< casa (PC) or lwarx (WC): the acquiring access
+    AcquireAux, ///< stwcx / isync completing a WC acquire sequence
+    Release,    ///< the releasing store
+    ReleaseAux, ///< lwsync fencing a WC release
+};
+
+/** Result of a detector run. */
+struct LockAnalysis
+{
+    std::vector<LockPair> pairs;
+    std::vector<LockRole> roles; ///< one per trace record
+
+    bool
+    isAcquire(uint64_t idx) const
+    {
+        return idx < roles.size() && roles[idx] == LockRole::Acquire;
+    }
+    bool
+    isRelease(uint64_t idx) const
+    {
+        return idx < roles.size() && roles[idx] == LockRole::Release;
+    }
+};
+
+/**
+ * Scans a trace for lock idioms. PC (TSO) form: a `casa` to address A
+ * acquires; the first subsequent plain store to A within `window`
+ * instructions releases. WC (PowerPC) form: `lwarx A; stwcx A; isync`
+ * acquires and `lwsync; store A` releases. Unmatched atomics (e.g.
+ * lock-free CAS loops) are left unpaired and keep their serializing
+ * semantics.
+ */
+class LockDetector
+{
+  public:
+    explicit LockDetector(uint64_t window = 512) : _window(window) {}
+
+    LockAnalysis analyze(const Trace &trace) const;
+
+  private:
+    uint64_t _window;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_TRACE_LOCK_DETECTOR_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace rewriter implementation.
+ */
+
+#include "trace/rewriter.hh"
+
+namespace storemlp
+{
+
+Trace
+TraceRewriter::toWeakConsistency(const Trace &trace,
+                                 const LockAnalysis &locks) const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(trace.size() + 2 * locks.pairs.size());
+
+    for (uint64_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &r = trace[i];
+        if (locks.isAcquire(i)) {
+            // casa -> lwarx ; stwcx ; isync. The inserted records share
+            // the casa's pc (same fetch line, no I-cache perturbation).
+            TraceRecord ll = r;
+            ll.cls = InstClass::LoadLocked;
+            out.push_back(ll);
+
+            TraceRecord sc = r;
+            sc.cls = InstClass::StoreCond;
+            sc.dst = 0;
+            sc.src2 = r.src1;
+            out.push_back(sc);
+
+            TraceRecord is;
+            is.pc = r.pc;
+            is.cls = InstClass::Isync;
+            is.flags = r.flags; // keeps the acquire ground-truth flag
+            out.push_back(is);
+            continue;
+        }
+        if (locks.isRelease(i)) {
+            // store -> lwsync ; store.
+            TraceRecord lw;
+            lw.pc = r.pc;
+            lw.cls = InstClass::Lwsync;
+            out.push_back(lw);
+            out.push_back(r);
+            continue;
+        }
+        out.push_back(r);
+    }
+    return Trace(std::move(out));
+}
+
+Trace
+TraceRewriter::toWeakConsistency(const Trace &trace) const
+{
+    LockDetector detector;
+    return toWeakConsistency(trace, detector.analyze(trace));
+}
+
+} // namespace storemlp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * PC -> WC trace rewriter. Implements the paper's methodology: "These
+ * instruction sequences [lock acquire/release] were then replaced with
+ * the appropriate instruction sequences and barriers" (Section 4.2).
+ *
+ * Rewrites, per Example 6 of the paper:
+ *   casa (acquire)   ->  lwarx ; stwcx ; isync
+ *   store (release)  ->  lwsync ; store
+ * Everything else is copied through unchanged (standalone membars keep
+ * full-fence semantics under both models).
+ */
+
+#ifndef STOREMLP_TRACE_REWRITER_HH
+#define STOREMLP_TRACE_REWRITER_HH
+
+#include "trace/lock_detector.hh"
+#include "trace/trace.hh"
+
+namespace storemlp
+{
+
+/**
+ * Produces the weak-consistency rendition of a processor-consistency
+ * trace given a lock analysis.
+ */
+class TraceRewriter
+{
+  public:
+    /** Rewrite using a precomputed analysis. */
+    Trace toWeakConsistency(const Trace &trace,
+                            const LockAnalysis &locks) const;
+
+    /** Convenience: detect locks, then rewrite. */
+    Trace toWeakConsistency(const Trace &trace) const;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_TRACE_REWRITER_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Trace container implementation.
+ */
+
+#include "trace/trace.hh"
+
+namespace storemlp
+{
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::Alu: return "alu";
+      case InstClass::Load: return "load";
+      case InstClass::Store: return "store";
+      case InstClass::Branch: return "branch";
+      case InstClass::AtomicCas: return "casa";
+      case InstClass::Membar: return "membar";
+      case InstClass::LoadLocked: return "lwarx";
+      case InstClass::StoreCond: return "stwcx";
+      case InstClass::Isync: return "isync";
+      case InstClass::Lwsync: return "lwsync";
+      default: return "?";
+    }
+}
+
+Trace::Mix
+Trace::mix() const
+{
+    Mix m;
+    m.total = _records.size();
+    for (const auto &r : _records) {
+        if (r.cls == InstClass::AtomicCas || r.cls == InstClass::StoreCond ||
+            r.cls == InstClass::LoadLocked) {
+            ++m.atomics;
+        }
+        if (isLoadClass(r.cls))
+            ++m.loads;
+        if (isStoreClass(r.cls))
+            ++m.stores;
+        if (r.cls == InstClass::Branch)
+            ++m.branches;
+        if (isBarrierClass(r.cls))
+            ++m.barriers;
+    }
+    return m;
+}
+
+TraceBuilder &
+TraceBuilder::emit(TraceRecord r)
+{
+    r.pc = _pc;
+    _pc += 4;
+    _records.push_back(r);
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::alu(uint8_t dst, uint8_t src1, uint8_t src2)
+{
+    TraceRecord r;
+    r.cls = InstClass::Alu;
+    r.dst = dst;
+    r.src1 = src1;
+    r.src2 = src2;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::load(uint64_t addr, uint8_t dst, uint8_t base)
+{
+    TraceRecord r;
+    r.cls = InstClass::Load;
+    r.addr = addr;
+    r.size = 8;
+    r.dst = dst;
+    r.src1 = base;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::store(uint64_t addr, uint8_t data_src, uint8_t base)
+{
+    TraceRecord r;
+    r.cls = InstClass::Store;
+    r.addr = addr;
+    r.size = 8;
+    r.src1 = base;
+    r.src2 = data_src;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::branch(bool taken, uint8_t src)
+{
+    TraceRecord r;
+    r.cls = InstClass::Branch;
+    r.src1 = src;
+    if (taken)
+        r.flags |= kFlagTaken;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::casa(uint64_t addr, uint8_t dst)
+{
+    TraceRecord r;
+    r.cls = InstClass::AtomicCas;
+    r.addr = addr;
+    r.size = 8;
+    r.dst = dst;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::membar()
+{
+    TraceRecord r;
+    r.cls = InstClass::Membar;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::loadLocked(uint64_t addr, uint8_t dst)
+{
+    TraceRecord r;
+    r.cls = InstClass::LoadLocked;
+    r.addr = addr;
+    r.size = 8;
+    r.dst = dst;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::storeCond(uint64_t addr, uint8_t src)
+{
+    TraceRecord r;
+    r.cls = InstClass::StoreCond;
+    r.addr = addr;
+    r.size = 8;
+    r.src2 = src;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::isync()
+{
+    TraceRecord r;
+    r.cls = InstClass::Isync;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::lwsync()
+{
+    TraceRecord r;
+    r.cls = InstClass::Lwsync;
+    return emit(r);
+}
+
+TraceBuilder &
+TraceBuilder::withFlags(uint8_t flags)
+{
+    _records.back().flags |= flags;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::atPc(uint64_t pc)
+{
+    _records.back().pc = pc;
+    _pc = pc + 4;
+    return *this;
+}
+
+TraceBuilder &
+TraceBuilder::withSize(uint8_t size)
+{
+    _records.back().size = size;
+    return *this;
+}
+
+} // namespace storemlp

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Binary trace serialization. Two on-disk formats:
+ *  v1 ("SMLPTRC1"): fixed 22-byte little-endian records.
+ *  v2 ("SMLPTRC2"): delta-compressed — a control byte per record
+ *      (class + presence bits), zigzag-varint pc deltas (sequential
+ *      pcs are free), varint addresses, and register/flag bytes only
+ *      when non-zero. readTrace() auto-detects the format.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace storemlp
+{
+
+namespace
+{
+
+constexpr char kMagicV1[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C', '1'};
+constexpr char kMagicV2[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C', '2'};
+constexpr size_t kRecordBytes = 22;
+
+void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+// ---- v2 helpers ----
+
+void
+putVarint(std::ostream &os, uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+uint64_t
+getVarint(std::istream &is)
+{
+    uint64_t v = 0;
+    for (unsigned shift = 0; shift < 70; shift += 7) {
+        int c = is.get();
+        if (c == EOF)
+            throw TraceFormatError("truncated varint");
+        v |= static_cast<uint64_t>(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return v;
+    }
+    throw TraceFormatError("overlong varint");
+}
+
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^
+        -static_cast<int64_t>(v & 1);
+}
+
+// v2 control byte layout: bits 0-3 class, bit 4 pc==prev+4,
+// bit 5 register/size block present, bit 6 flags byte present.
+constexpr uint8_t kCtrlSeqPc = 1 << 4;
+constexpr uint8_t kCtrlRegs = 1 << 5;
+constexpr uint8_t kCtrlFlags = 1 << 6;
+
+} // namespace
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagicV1, sizeof(kMagicV1));
+    uint8_t hdr[8];
+    putU64(hdr, trace.size());
+    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+
+    std::array<uint8_t, kRecordBytes> buf;
+    for (const auto &r : trace.records()) {
+        putU64(buf.data(), r.pc);
+        putU64(buf.data() + 8, r.addr);
+        buf[16] = static_cast<uint8_t>(r.cls);
+        buf[17] = r.size;
+        buf[18] = r.dst;
+        buf[19] = r.src1;
+        buf[20] = r.src2;
+        buf[21] = r.flags;
+        os.write(reinterpret_cast<const char *>(buf.data()), buf.size());
+    }
+}
+
+void
+writeTraceCompressed(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagicV2, sizeof(kMagicV2));
+    uint8_t hdr[8];
+    putU64(hdr, trace.size());
+    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
+
+    uint64_t prev_pc = 0;
+    for (const auto &r : trace.records()) {
+        bool seq = r.pc == prev_pc + 4;
+        bool regs = r.dst || r.src1 || r.src2 || r.size;
+        uint8_t ctrl = static_cast<uint8_t>(r.cls);
+        if (seq)
+            ctrl |= kCtrlSeqPc;
+        if (regs)
+            ctrl |= kCtrlRegs;
+        if (r.flags)
+            ctrl |= kCtrlFlags;
+        os.put(static_cast<char>(ctrl));
+
+        if (!seq) {
+            putVarint(os, zigzag(static_cast<int64_t>(r.pc) -
+                                 static_cast<int64_t>(prev_pc)));
+        }
+        prev_pc = r.pc;
+
+        if (isMemClass(r.cls))
+            putVarint(os, r.addr);
+        if (regs) {
+            os.put(static_cast<char>(r.size));
+            os.put(static_cast<char>(r.dst));
+            os.put(static_cast<char>(r.src1));
+            os.put(static_cast<char>(r.src2));
+        }
+        if (r.flags)
+            os.put(static_cast<char>(r.flags));
+    }
+}
+
+namespace
+{
+
+Trace
+readTraceV1(std::istream &is)
+{
+    uint8_t hdr[8];
+    is.read(reinterpret_cast<char *>(hdr), sizeof(hdr));
+    if (!is)
+        throw TraceFormatError("truncated trace header");
+    uint64_t count = getU64(hdr);
+
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    std::array<uint8_t, kRecordBytes> buf;
+    for (uint64_t i = 0; i < count; ++i) {
+        is.read(reinterpret_cast<char *>(buf.data()), buf.size());
+        if (!is)
+            throw TraceFormatError("truncated trace body");
+        TraceRecord r;
+        r.pc = getU64(buf.data());
+        r.addr = getU64(buf.data() + 8);
+        if (buf[16] >= static_cast<uint8_t>(InstClass::NumClasses))
+            throw TraceFormatError("invalid instruction class");
+        r.cls = static_cast<InstClass>(buf[16]);
+        r.size = buf[17];
+        r.dst = buf[18];
+        r.src1 = buf[19];
+        r.src2 = buf[20];
+        r.flags = buf[21];
+        records.push_back(r);
+    }
+    return Trace(std::move(records));
+}
+
+Trace
+readTraceV2(std::istream &is)
+{
+    uint8_t hdr[8];
+    is.read(reinterpret_cast<char *>(hdr), sizeof(hdr));
+    if (!is)
+        throw TraceFormatError("truncated trace header");
+    uint64_t count = getU64(hdr);
+
+    std::vector<TraceRecord> records;
+    records.reserve(count);
+    uint64_t prev_pc = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        int ctrl_c = is.get();
+        if (ctrl_c == EOF)
+            throw TraceFormatError("truncated trace body");
+        uint8_t ctrl = static_cast<uint8_t>(ctrl_c);
+        uint8_t cls_bits = ctrl & 0x0f;
+        if (cls_bits >= static_cast<uint8_t>(InstClass::NumClasses))
+            throw TraceFormatError("invalid instruction class");
+
+        TraceRecord r;
+        r.cls = static_cast<InstClass>(cls_bits);
+        if (ctrl & kCtrlSeqPc) {
+            r.pc = prev_pc + 4;
+        } else {
+            int64_t delta = unzigzag(getVarint(is));
+            r.pc = static_cast<uint64_t>(
+                static_cast<int64_t>(prev_pc) + delta);
+        }
+        prev_pc = r.pc;
+
+        if (isMemClass(r.cls))
+            r.addr = getVarint(is);
+        if (ctrl & kCtrlRegs) {
+            int a = is.get(), b = is.get(), c = is.get(), d = is.get();
+            if (d == EOF)
+                throw TraceFormatError("truncated register block");
+            r.size = static_cast<uint8_t>(a);
+            r.dst = static_cast<uint8_t>(b);
+            r.src1 = static_cast<uint8_t>(c);
+            r.src2 = static_cast<uint8_t>(d);
+        }
+        if (ctrl & kCtrlFlags) {
+            int f = is.get();
+            if (f == EOF)
+                throw TraceFormatError("truncated flags byte");
+            r.flags = static_cast<uint8_t>(f);
+        }
+        records.push_back(r);
+    }
+    return Trace(std::move(records));
+}
+
+} // namespace
+
+Trace
+readTrace(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    if (!is)
+        throw TraceFormatError("bad trace magic");
+    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0)
+        return readTraceV1(is);
+    if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0)
+        return readTraceV2(is);
+    throw TraceFormatError("bad trace magic");
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        throw TraceFormatError("cannot open for write: " + path);
+    writeTrace(ofs, trace);
+    if (!ofs)
+        throw TraceFormatError("write failed: " + path);
+}
+
+void
+writeTraceCompressedFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        throw TraceFormatError("cannot open for write: " + path);
+    writeTraceCompressed(ofs, trace);
+    if (!ofs)
+        throw TraceFormatError("write failed: " + path);
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        throw TraceFormatError("cannot open for read: " + path);
+    return readTrace(ifs);
+}
+
+} // namespace storemlp

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Branch predictor implementation.
+ */
+
+#include "uarch/branch_predictor.hh"
+
+#include <cassert>
+
+namespace storemlp
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig &config)
+    : _config(config)
+{
+    assert(config.gshareEntries &&
+           (config.gshareEntries & (config.gshareEntries - 1)) == 0);
+    _counters.assign(config.gshareEntries, 1); // weakly not-taken
+    _indexMask = config.gshareEntries - 1;
+    _historyMask = (1u << config.historyBits) - 1;
+    uint32_t index_bits = 0;
+    for (uint32_t v = config.gshareEntries; v > 1; v >>= 1)
+        ++index_bits;
+    assert(config.historyBits <= index_bits);
+    _historyShift = index_bits - config.historyBits;
+
+    assert(config.btbEntries % config.btbAssoc == 0);
+    _btbSets = config.btbEntries / config.btbAssoc;
+    assert(_btbSets && (_btbSets & (_btbSets - 1)) == 0);
+    _btb.resize(config.btbEntries);
+
+    _ras.assign(config.rasEntries, 0);
+}
+
+bool
+BranchPredictor::btbLookupInsert(uint64_t pc)
+{
+    uint64_t idx = (pc >> 2) & (_btbSets - 1);
+    BtbEntry *base = &_btb[idx * _config.btbAssoc];
+    uint64_t tag = (pc >> 2) / _btbSets;
+    for (uint32_t w = 0; w < _config.btbAssoc; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lru = ++_btbClock;
+            return true;
+        }
+    }
+    BtbEntry *victim = &base[0];
+    for (uint32_t w = 0; w < _config.btbAssoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++_btbClock;
+    return false;
+}
+
+uint32_t
+BranchPredictor::index(uint64_t pc) const
+{
+    return (static_cast<uint32_t>(pc >> 2) ^ (_history << _historyShift))
+        & _indexMask;
+}
+
+bool
+BranchPredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    ++_lookups;
+    uint8_t &ctr = _counters[index(pc)];
+    bool predicted_taken = ctr >= 2;
+
+    bool correct = predicted_taken == taken;
+    // Taken branches additionally need the target from the BTB.
+    if (taken && !btbLookupInsert(pc))
+        correct = false;
+
+    // Train.
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    _history = ((_history << 1) | (taken ? 1u : 0u)) & _historyMask;
+
+    if (!correct)
+        ++_mispredicts;
+    return correct;
+}
+
+bool
+BranchPredictor::predictPeek(uint64_t pc, bool taken) const
+{
+    bool predicted_taken = _counters[index(pc)] >= 2;
+    bool correct = predicted_taken == taken;
+    if (taken) {
+        // Read-only BTB presence check.
+        uint64_t set = (pc >> 2) & (_btbSets - 1);
+        uint64_t tag = (pc >> 2) / _btbSets;
+        const BtbEntry *base = &_btb[set * _config.btbAssoc];
+        bool hit = false;
+        for (uint32_t w = 0; w < _config.btbAssoc; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                hit = true;
+                break;
+            }
+        }
+        if (!hit)
+            correct = false;
+    }
+    return correct;
+}
+
+void
+BranchPredictor::pushReturn(uint64_t return_pc)
+{
+    _ras[_rasTop % _config.rasEntries] = return_pc;
+    ++_rasTop;
+}
+
+bool
+BranchPredictor::popReturn(uint64_t actual_target)
+{
+    ++_lookups;
+    if (_rasTop == 0) {
+        ++_mispredicts;
+        return false;
+    }
+    --_rasTop;
+    bool correct = _ras[_rasTop % _config.rasEntries] == actual_target;
+    if (!correct)
+        ++_mispredicts;
+    return correct;
+}
+
+double
+BranchPredictor::mispredictRate() const
+{
+    return _lookups
+        ? static_cast<double>(_mispredicts) / static_cast<double>(_lookups)
+        : 0.0;
+}
+
+void
+BranchPredictor::reset()
+{
+    _counters.assign(_config.gshareEntries, 1);
+    _history = 0;
+    for (auto &e : _btb)
+        e = BtbEntry();
+    _btbClock = 0;
+    _rasTop = 0;
+    resetStats();
+}
+
+} // namespace storemlp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Branch prediction: 64K-entry gshare direction predictor, 16K-entry
+ * BTB and a 16-entry return address stack, matching the paper's
+ * default configuration (Section 4.3).
+ */
+
+#ifndef STOREMLP_UARCH_BRANCH_PREDICTOR_HH
+#define STOREMLP_UARCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace storemlp
+{
+
+/** Predictor geometry. */
+struct BranchPredictorConfig
+{
+    uint32_t gshareEntries = 64 * 1024;
+    /**
+     * Global history bits folded into the index. History occupies the
+     * high index bits so the low bits keep per-pc counter locality
+     * (limits destructive aliasing between unrelated branches).
+     */
+    uint32_t historyBits = 2;
+    uint32_t btbEntries = 16 * 1024;
+    uint32_t btbAssoc = 4;
+    uint32_t rasEntries = 16;
+};
+
+/**
+ * gshare + BTB + RAS. The trace carries outcomes, so prediction is
+ * evaluated on the fly: predictAndUpdate() returns whether the branch
+ * would have been predicted correctly and trains the tables.
+ */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const BranchPredictorConfig &config = {});
+
+    /**
+     * Predict the branch at `pc` with actual outcome `taken`, then
+     * train. @return true if direction AND target (taken branches
+     * need a BTB hit) were predicted correctly.
+     */
+    bool predictAndUpdate(uint64_t pc, bool taken);
+
+    /**
+     * Predict without training or stats (hardware-scout lookahead must
+     * not perturb the state the post-stall replay will observe).
+     */
+    bool predictPeek(uint64_t pc, bool taken) const;
+
+    /** RAS operations for call/return flavoured traces. */
+    void pushReturn(uint64_t return_pc);
+    /** Pop and check a return target; trains nothing else. */
+    bool popReturn(uint64_t actual_target);
+
+    uint64_t lookups() const { return _lookups; }
+    uint64_t mispredicts() const { return _mispredicts; }
+    double mispredictRate() const;
+    void resetStats() { _lookups = _mispredicts = 0; }
+    void reset();
+
+  private:
+    bool btbLookupInsert(uint64_t pc);
+
+    uint32_t index(uint64_t pc) const;
+
+    BranchPredictorConfig _config;
+    std::vector<uint8_t> _counters; ///< 2-bit saturating counters
+    uint32_t _history = 0;
+    uint32_t _historyMask;  ///< (1 << historyBits) - 1
+    uint32_t _indexMask;    ///< gshareEntries - 1
+    uint32_t _historyShift; ///< left shift placing history in high bits
+
+    struct BtbEntry
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> _btb;
+    uint32_t _btbSets;
+    uint64_t _btbClock = 0;
+
+    std::vector<uint64_t> _ras;
+    uint32_t _rasTop = 0;
+
+    uint64_t _lookups = 0;
+    uint64_t _mispredicts = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_UARCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Register poison helpers.
+ */
+
+#include "uarch/regdep.hh"
+
+#include <bit>
+
+namespace storemlp
+{
+
+unsigned
+poisonedCount(const RegPoison &p)
+{
+    return static_cast<unsigned>(std::popcount(p.raw()));
+}
+
+} // namespace storemlp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Register poison tracking: which architectural registers currently
+ * hold values produced (directly or transitively) by unresolved
+ * off-chip misses. Poisoned sources make consumers unexecutable
+ * within the current epoch; in scout mode they make addresses
+ * unprefetchable.
+ */
+
+#ifndef STOREMLP_UARCH_REGDEP_HH
+#define STOREMLP_UARCH_REGDEP_HH
+
+#include <cstdint>
+
+namespace storemlp
+{
+
+/**
+ * Bitset of poisoned registers. Register 0 means "no register" and is
+ * never poisoned.
+ */
+class RegPoison
+{
+  public:
+    void
+    set(uint8_t reg)
+    {
+        if (reg)
+            _bits |= (1ULL << (reg & 63));
+    }
+
+    void
+    clear(uint8_t reg)
+    {
+        if (reg)
+            _bits &= ~(1ULL << (reg & 63));
+    }
+
+    bool
+    test(uint8_t reg) const
+    {
+        if (!reg)
+            return false;
+        return (_bits >> (reg & 63)) & 1ULL;
+    }
+
+    /** True if any source of an instruction is poisoned. */
+    bool
+    anyPoisoned(uint8_t src1, uint8_t src2) const
+    {
+        return test(src1) || test(src2);
+    }
+
+    void clearAll() { _bits = 0; }
+    bool empty() const { return _bits == 0; }
+    uint64_t raw() const { return _bits; }
+
+  private:
+    uint64_t _bits = 0;
+};
+
+/** Count of poisoned registers (diagnostics). */
+unsigned poisonedCount(const RegPoison &p);
+
+} // namespace storemlp
+
+#endif // STOREMLP_UARCH_REGDEP_HH

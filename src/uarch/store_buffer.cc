@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Store buffer implementation.
+ */
+
+#include "uarch/store_buffer.hh"
+
+#include <cassert>
+
+namespace storemlp
+{
+
+StoreBuffer::StoreBuffer(size_t capacity) : _capacity(capacity)
+{
+    assert(capacity > 0);
+}
+
+SbEntry &
+StoreBuffer::push(uint64_t addr, uint64_t line, uint64_t inst_idx,
+                  bool addr_ready, bool release)
+{
+    assert(!full());
+    SbEntry e;
+    e.addr = addr;
+    e.line = line;
+    e.instIdx = inst_idx;
+    e.addrReady = addr_ready;
+    e.release = release;
+    _entries.push_back(e);
+    return _entries.back();
+}
+
+} // namespace storemlp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Store buffer model: holds stores from rename/dispatch until
+ * retirement, at which point they move into the store queue. The
+ * epoch engine consults it for the prefetch-at-execute optimization
+ * (addresses of buffered stores are prefetchable once generated).
+ */
+
+#ifndef STOREMLP_UARCH_STORE_BUFFER_HH
+#define STOREMLP_UARCH_STORE_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace storemlp
+{
+
+/** One store buffer entry. */
+struct SbEntry
+{
+    uint64_t addr = 0;
+    uint64_t line = 0;
+    uint64_t instIdx = 0;
+    bool addrReady = false; ///< address generation has completed
+    bool release = false;   ///< lock-release store
+    bool prefetched = false;
+};
+
+/**
+ * Bounded FIFO of dispatched, unretired stores.
+ */
+class StoreBuffer
+{
+  public:
+    explicit StoreBuffer(size_t capacity);
+
+    bool full() const { return _entries.size() >= _capacity; }
+    bool empty() const { return _entries.empty(); }
+    size_t size() const { return _entries.size(); }
+    size_t capacity() const { return _capacity; }
+
+    /** Allocate an entry at dispatch. Caller must check !full(). */
+    SbEntry &push(uint64_t addr, uint64_t line, uint64_t inst_idx,
+                  bool addr_ready, bool release = false);
+
+    SbEntry &head() { return _entries.front(); }
+    void popHead() { _entries.pop_front(); }
+
+    std::deque<SbEntry> &entries() { return _entries; }
+    const std::deque<SbEntry> &entries() const { return _entries; }
+    void clear() { _entries.clear(); }
+
+  private:
+    std::deque<SbEntry> _entries;
+    size_t _capacity;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_UARCH_STORE_BUFFER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Store queue implementation.
+ */
+
+#include "uarch/store_queue.hh"
+
+#include <cassert>
+
+namespace storemlp
+{
+
+StoreQueue::StoreQueue(size_t capacity, uint32_t coalesce_bytes,
+                       bool coalesce_any_entry)
+    : _capacity(capacity), _coalesceBytes(coalesce_bytes),
+      _coalesceAnyEntry(coalesce_any_entry)
+{
+    assert(capacity > 0);
+    assert(coalesce_bytes == 0 ||
+           (coalesce_bytes & (coalesce_bytes - 1)) == 0);
+}
+
+uint64_t
+StoreQueue::granuleOf(uint64_t addr) const
+{
+    if (_coalesceBytes == 0)
+        return addr;
+    return addr & ~static_cast<uint64_t>(_coalesceBytes - 1);
+}
+
+bool
+StoreQueue::insert(uint64_t addr, uint64_t line, uint64_t inst_idx,
+                   uint32_t fence_seq, bool release)
+{
+    ++_inserts;
+    uint64_t granule = granuleOf(addr);
+
+    if (_coalesceBytes != 0 && !_entries.empty()) {
+        if (_coalesceAnyEntry) {
+            // WC: any entry on this side of the youngest fence. A
+            // committed-looking (classified missing) head still merges
+            // — the merged data simply joins the pending line write.
+            for (auto it = _entries.rbegin(); it != _entries.rend();
+                 ++it) {
+                if (it->fenceSeq != fence_seq)
+                    break; // older fence epoch: ineligible
+                if (it->granule == granule) {
+                    ++_coalesced;
+                    ++it->mergedStores;
+                    return true;
+                }
+            }
+        } else {
+            // PC: consecutive stores only -> tail entry.
+            SqEntry &tail = _entries.back();
+            if (tail.granule == granule && tail.fenceSeq == fence_seq) {
+                ++_coalesced;
+                ++tail.mergedStores;
+                return true;
+            }
+        }
+    }
+
+    assert(!full());
+    SqEntry e;
+    e.granule = granule;
+    e.line = line;
+    e.instIdx = inst_idx;
+    e.fenceSeq = fence_seq;
+    e.release = release;
+    _entries.push_back(e);
+    return false;
+}
+
+} // namespace storemlp

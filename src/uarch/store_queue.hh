@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Store queue model: holds retired stores until they commit into the
+ * L2 and become globally visible. Implements store coalescing with the
+ * consistency-model-specific eligibility rules of Section 3.3.1:
+ * under processor consistency only *consecutive* stores may coalesce
+ * (tail entry only); under weak consistency a retiring store may
+ * coalesce with any entry on the same side of the youngest lwsync
+ * fence.
+ */
+
+#ifndef STOREMLP_UARCH_STORE_QUEUE_HH
+#define STOREMLP_UARCH_STORE_QUEUE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace storemlp
+{
+
+/** One store queue entry (a coalesced granule). */
+struct SqEntry
+{
+    uint64_t granule = 0;   ///< address aligned to coalesce granularity
+    uint64_t line = 0;      ///< cache line address
+    uint64_t instIdx = 0;   ///< trace index of the first merged store
+    uint32_t fenceSeq = 0;  ///< lwsync fence epoch (weak consistency)
+    bool missing = false;   ///< classified when commit is attempted
+    bool classified = false;///< L2 lookup already performed
+    bool prefetched = false;///< prefetch-for-write issued
+    bool release = false;   ///< lock-release store
+    uint32_t mergedStores = 1; ///< dynamic stores merged into this entry
+};
+
+/**
+ * Bounded store queue with coalescing. The epoch engine drives commit
+ * (popping the head); this class owns capacity/merge bookkeeping.
+ */
+class StoreQueue
+{
+  public:
+    /**
+     * @param capacity maximum entries (paper default 32)
+     * @param coalesce_bytes coalescing granularity; 0 disables
+     * @param coalesce_any_entry WC rule (search all entries) vs PC
+     *        rule (tail entry only)
+     */
+    StoreQueue(size_t capacity, uint32_t coalesce_bytes,
+               bool coalesce_any_entry);
+
+    bool full() const { return _entries.size() >= _capacity; }
+    bool empty() const { return _entries.empty(); }
+    size_t size() const { return _entries.size(); }
+    size_t capacity() const { return _capacity; }
+
+    /**
+     * Insert a retiring store, coalescing if eligible.
+     * @return true if the store was merged into an existing entry
+     *         (no capacity consumed)
+     */
+    bool insert(uint64_t addr, uint64_t line, uint64_t inst_idx,
+                uint32_t fence_seq, bool release = false);
+
+    SqEntry &head() { return _entries.front(); }
+    const SqEntry &head() const { return _entries.front(); }
+    void popHead() { _entries.pop_front(); }
+    /** Remove an arbitrary entry (WC out-of-order commit). */
+    void erase(size_t pos) { _entries.erase(_entries.begin() + pos); }
+
+    std::deque<SqEntry> &entries() { return _entries; }
+    const std::deque<SqEntry> &entries() const { return _entries; }
+
+    void clear() { _entries.clear(); }
+
+    uint64_t inserts() const { return _inserts; }
+    uint64_t coalesced() const { return _coalesced; }
+    void resetStats() { _inserts = _coalesced = 0; }
+
+  private:
+    uint64_t granuleOf(uint64_t addr) const;
+
+    std::deque<SqEntry> _entries;
+    size_t _capacity;
+    uint32_t _coalesceBytes;
+    bool _coalesceAnyEntry;
+
+    uint64_t _inserts = 0;
+    uint64_t _coalesced = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_UARCH_STORE_QUEUE_HH

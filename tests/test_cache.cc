@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: set-associative cache,
+ * hierarchy (write-through no-write-allocate L1D), TLB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cache/set_assoc_cache.hh"
+#include "cache/tlb.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+CacheConfig
+tinyCache()
+{
+    return {1024, 2, 64}; // 8 sets x 2 ways x 64B
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(tinyCache());
+    EXPECT_FALSE(c.access(0x1000, false).hit);
+    EXPECT_TRUE(c.access(0x1000, false).hit);
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, SameLineDifferentOffsetsHit)
+{
+    SetAssocCache c(tinyCache());
+    c.access(0x1000, false);
+    EXPECT_TRUE(c.access(0x103f, false).hit);
+    EXPECT_FALSE(c.access(0x1040, false).hit); // next line
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache c(tinyCache()); // 2 ways
+    uint64_t set_stride = 8 * 64;  // 8 sets
+    // Three lines mapping to the same set.
+    c.access(0x0, false);
+    c.access(set_stride, false);
+    c.access(0x0, false); // touch line 0: line 1 becomes LRU
+    AccessResult r = c.access(2 * set_stride, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.victimValid);
+    EXPECT_EQ(r.victimLineAddr, set_stride);
+    EXPECT_TRUE(c.access(0x0, false).hit);       // survived
+    EXPECT_FALSE(c.access(set_stride, false).hit); // evicted
+}
+
+TEST(SetAssocCache, DirtyVictimReported)
+{
+    SetAssocCache c(tinyCache());
+    uint64_t set_stride = 8 * 64;
+    c.access(0x0, true); // dirty
+    c.access(set_stride, false);
+    AccessResult r = c.access(2 * set_stride, false);
+    EXPECT_TRUE(r.victimValid);
+    EXPECT_EQ(r.victimLineAddr, 0u);
+    EXPECT_TRUE(r.victimDirty);
+    EXPECT_EQ(c.evictionsDirty(), 1u);
+}
+
+TEST(SetAssocCache, WriteHitMarksDirty)
+{
+    SetAssocCache c(tinyCache());
+    c.access(0x1000, false);
+    c.access(0x1000, true);
+    auto inv = c.invalidate(0x1000);
+    EXPECT_TRUE(inv.wasPresent);
+    EXPECT_TRUE(inv.wasDirty);
+}
+
+TEST(SetAssocCache, NoAllocateLeavesCacheUntouched)
+{
+    SetAssocCache c(tinyCache());
+    AccessResult r = c.access(0x2000, true, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(c.probe(0x2000));
+}
+
+TEST(SetAssocCache, ProbeDoesNotUpdateLru)
+{
+    SetAssocCache c(tinyCache());
+    uint64_t set_stride = 8 * 64;
+    c.access(0x0, false);
+    c.access(set_stride, false);
+    // Probing line 0 must NOT make it MRU.
+    EXPECT_TRUE(c.probe(0x0));
+    c.access(2 * set_stride, false); // evicts true-LRU = line 0
+    EXPECT_FALSE(c.probe(0x0));
+    EXPECT_TRUE(c.probe(set_stride));
+}
+
+TEST(SetAssocCache, StateByteRoundTrip)
+{
+    SetAssocCache c(tinyCache());
+    c.access(0x40, false);
+    EXPECT_TRUE(c.setState(0x40, 3));
+    auto st = c.probeState(0x40);
+    ASSERT_TRUE(st.has_value());
+    EXPECT_EQ(*st, 3);
+    EXPECT_FALSE(c.setState(0x9999000, 1));
+    EXPECT_FALSE(c.probeState(0x9999000).has_value());
+}
+
+TEST(SetAssocCache, StateResetOnRefill)
+{
+    SetAssocCache c(tinyCache());
+    uint64_t set_stride = 8 * 64;
+    c.access(0x0, false);
+    c.setState(0x0, 2);
+    c.access(set_stride, false);
+    c.access(2 * set_stride, false); // evicts 0x0
+    c.access(0x0, false);            // refill
+    EXPECT_EQ(*c.probeState(0x0), 0);
+}
+
+TEST(SetAssocCache, InvalidateAbsentLine)
+{
+    SetAssocCache c(tinyCache());
+    auto inv = c.invalidate(0x5000);
+    EXPECT_FALSE(inv.wasPresent);
+}
+
+TEST(SetAssocCache, ClearDropsEverything)
+{
+    SetAssocCache c(tinyCache());
+    c.access(0x0, true);
+    c.access(0x40, false);
+    EXPECT_EQ(c.residentLines(), 2u);
+    c.clear();
+    EXPECT_EQ(c.residentLines(), 0u);
+    EXPECT_FALSE(c.probe(0x0));
+}
+
+TEST(SetAssocCache, CapacityBound)
+{
+    SetAssocCache c(tinyCache());
+    for (uint64_t a = 0; a < 4096; a += 64)
+        c.access(a, false);
+    EXPECT_LE(c.residentLines(), 1024u / 64u);
+}
+
+TEST(SetAssocCache, PaperDefaultGeometry)
+{
+    CacheConfig l2 = CacheConfig::l2Default();
+    EXPECT_EQ(l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(l2.assoc, 4u);
+    EXPECT_EQ(l2.lineBytes, 64u);
+    EXPECT_EQ(l2.numSets(), 8192u);
+    CacheConfig l1 = CacheConfig::l1Default();
+    EXPECT_EQ(l1.sizeBytes, 32u * 1024);
+}
+
+// ---- hierarchy ----
+
+TEST(Hierarchy, LoadMissFillsBothLevels)
+{
+    CacheHierarchy h;
+    EXPECT_EQ(h.load(0x100000), MissLevel::OffChip);
+    EXPECT_EQ(h.load(0x100000), MissLevel::L1Hit);
+    EXPECT_TRUE(h.l2Probe(0x100000));
+}
+
+TEST(Hierarchy, LoadL2HitAfterL1Eviction)
+{
+    CacheHierarchy h;
+    h.load(0x100000);
+    // Evict from the 32KB L1 by loading conflicting lines
+    // (same L1 set: stride = 8KB for 128-set 4-way L1).
+    for (int i = 1; i <= 8; ++i)
+        h.load(0x100000 + i * 8192);
+    EXPECT_EQ(h.load(0x100000), MissLevel::L2Hit);
+}
+
+TEST(Hierarchy, StoreMissDoesNotAllocateL1)
+{
+    CacheHierarchy h;
+    EXPECT_EQ(h.store(0x200000), MissLevel::OffChip);
+    // Line is in L2 (write-allocate) but not in L1D.
+    EXPECT_TRUE(h.l2Probe(0x200000));
+    EXPECT_FALSE(h.l1d().probe(0x200000));
+    // A subsequent load misses L1 but hits L2.
+    EXPECT_EQ(h.load(0x200000), MissLevel::L2Hit);
+}
+
+TEST(Hierarchy, StoreHitWritesThrough)
+{
+    CacheHierarchy h;
+    h.load(0x300000); // brings into L1D+L2
+    uint64_t l2_accesses = h.l2Accesses();
+    EXPECT_EQ(h.store(0x300000), MissLevel::L2Hit);
+    // Write-through: the store reached the L2 even on an L1 hit.
+    EXPECT_GT(h.l2Accesses(), l2_accesses);
+}
+
+TEST(Hierarchy, InstFetchSequentialFastPath)
+{
+    CacheHierarchy h;
+    EXPECT_EQ(h.instFetch(0x10000), MissLevel::OffChip);
+    // Same line: fast path, no new L2 access.
+    uint64_t l2 = h.l2Accesses();
+    EXPECT_EQ(h.instFetch(0x10004), MissLevel::L1Hit);
+    EXPECT_EQ(h.instFetch(0x1003c), MissLevel::L1Hit);
+    EXPECT_EQ(h.l2Accesses(), l2);
+    // Next line misses again.
+    EXPECT_EQ(h.instFetch(0x10040), MissLevel::OffChip);
+}
+
+TEST(Hierarchy, PrefetchInstallsLine)
+{
+    CacheHierarchy h;
+    EXPECT_FALSE(h.prefetchLine(0x400000, false));
+    EXPECT_EQ(h.load(0x400000), MissLevel::L2Hit);
+    EXPECT_TRUE(h.prefetchLine(0x400000, false)); // already present
+}
+
+TEST(Hierarchy, PrefetchForWriteMarksDirty)
+{
+    CacheHierarchy h;
+    h.prefetchLine(0x500000, true);
+    uint64_t evicted = 0;
+    bool evicted_dirty = false;
+    h.setEvictionListener([&](uint64_t line, bool dirty, uint8_t) {
+        if (line == 0x500000) {
+            ++evicted;
+            evicted_dirty = dirty;
+        }
+    });
+    // Force eviction of that L2 set: 2MB 4-way, set stride 512KB.
+    for (int i = 1; i <= 5; ++i)
+        h.load(0x500000 + i * 512 * 1024);
+    EXPECT_EQ(evicted, 1u);
+    EXPECT_TRUE(evicted_dirty);
+}
+
+TEST(Hierarchy, EvictionListenerSeesDirtyStoreVictims)
+{
+    CacheHierarchy h;
+    std::vector<uint64_t> dirty_victims;
+    h.setEvictionListener([&](uint64_t line, bool dirty, uint8_t) {
+        if (dirty)
+            dirty_victims.push_back(line);
+    });
+    h.store(0x600000);
+    for (int i = 1; i <= 5; ++i)
+        h.load(0x600000 + i * 512 * 1024);
+    ASSERT_EQ(dirty_victims.size(), 1u);
+    EXPECT_EQ(dirty_victims[0], 0x600000u);
+}
+
+TEST(Hierarchy, InvalidateLineRemovesEverywhere)
+{
+    CacheHierarchy h;
+    h.load(0x700000);
+    h.invalidateLine(0x700000);
+    EXPECT_FALSE(h.l2Probe(0x700000));
+    EXPECT_EQ(h.load(0x700000), MissLevel::OffChip);
+}
+
+TEST(Hierarchy, InvalidateForCoherenceSkipsListener)
+{
+    CacheHierarchy h;
+    uint64_t notifications = 0;
+    h.setEvictionListener([&](uint64_t, bool, uint8_t) { ++notifications; });
+    h.store(0x800000); // dirty in L2
+    h.invalidateForCoherence(0x800000);
+    EXPECT_EQ(notifications, 0u);
+    EXPECT_FALSE(h.l2Probe(0x800000));
+}
+
+TEST(Hierarchy, StatsCountMisses)
+{
+    CacheHierarchy h;
+    h.load(0x10000);
+    h.load(0x20000);
+    h.load(0x10000);
+    h.store(0x30000);
+    h.instFetch(0x40000);
+    EXPECT_EQ(h.loadL2Misses(), 2u);
+    EXPECT_EQ(h.storeL2Misses(), 1u);
+    EXPECT_EQ(h.instL2Misses(), 1u);
+    h.resetStats();
+    EXPECT_EQ(h.loadL2Misses(), 0u);
+    EXPECT_EQ(h.loadAccesses(), 0u);
+}
+
+// ---- TLB ----
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t;
+    EXPECT_FALSE(t.access(0x10000));
+    EXPECT_TRUE(t.access(0x10000));
+    EXPECT_TRUE(t.access(0x10000 + 4096)); // same 8KB page
+    EXPECT_FALSE(t.access(0x10000 + 8192));
+}
+
+TEST(Tlb, CapacityEviction)
+{
+    TlbConfig cfg;
+    cfg.entries = 16;
+    cfg.assoc = 2;
+    cfg.pageBytes = 8192;
+    Tlb t(cfg);
+    // 3 pages in the same set (set stride = 8 sets * 8KB).
+    uint64_t stride = 8 * 8192;
+    t.access(0);
+    t.access(stride);
+    t.access(2 * stride);
+    EXPECT_FALSE(t.access(0)); // LRU-evicted
+}
+
+TEST(Tlb, StatsAndClear)
+{
+    Tlb t;
+    t.access(0x1000);
+    t.access(0x1000);
+    EXPECT_EQ(t.accesses(), 2u);
+    EXPECT_EQ(t.misses(), 1u);
+    t.clear();
+    t.resetStats();
+    EXPECT_FALSE(t.access(0x1000));
+    EXPECT_EQ(t.accesses(), 1u);
+}
+
+} // namespace
+} // namespace storemlp

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Property tests for the cache substrate: the SetAssocCache is fuzzed
+ * against a straightforward reference LRU model across a grid of
+ * geometries, and structural invariants are checked along the way.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+
+#include "cache/set_assoc_cache.hh"
+#include "trace/rng.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+/**
+ * Reference model: per-set list of line addresses in LRU order plus a
+ * dirty map. Deliberately simple and obviously correct.
+ */
+class RefCache
+{
+  public:
+    RefCache(uint64_t size_bytes, uint32_t assoc, uint32_t line_bytes)
+        : _assoc(assoc), _lineBytes(line_bytes),
+          _numSets(size_bytes / (assoc * line_bytes))
+    {
+    }
+
+    struct Result
+    {
+        bool hit = false;
+        bool victimValid = false;
+        uint64_t victimLine = 0;
+        bool victimDirty = false;
+    };
+
+    Result
+    access(uint64_t addr, bool is_write, bool allocate)
+    {
+        Result r;
+        uint64_t line = addr & ~static_cast<uint64_t>(_lineBytes - 1);
+        uint64_t set = (line / _lineBytes) % _numSets;
+        auto &lru = _sets[set];
+        auto it = std::find(lru.begin(), lru.end(), line);
+        if (it != lru.end()) {
+            r.hit = true;
+            lru.erase(it);
+            lru.push_back(line);
+            if (is_write)
+                _dirty[line] = true;
+            return r;
+        }
+        if (!allocate)
+            return r;
+        if (lru.size() >= _assoc) {
+            uint64_t victim = lru.front();
+            lru.pop_front();
+            r.victimValid = true;
+            r.victimLine = victim;
+            r.victimDirty = _dirty.count(victim) && _dirty[victim];
+            _dirty.erase(victim);
+        }
+        lru.push_back(line);
+        _dirty[line] = is_write;
+        return r;
+    }
+
+    bool
+    probe(uint64_t addr) const
+    {
+        uint64_t line = addr & ~static_cast<uint64_t>(_lineBytes - 1);
+        uint64_t set = (line / _lineBytes) % _numSets;
+        auto it = _sets.find(set);
+        if (it == _sets.end())
+            return false;
+        return std::find(it->second.begin(), it->second.end(), line) !=
+            it->second.end();
+    }
+
+    void
+    invalidate(uint64_t addr)
+    {
+        uint64_t line = addr & ~static_cast<uint64_t>(_lineBytes - 1);
+        uint64_t set = (line / _lineBytes) % _numSets;
+        auto &lru = _sets[set];
+        auto it = std::find(lru.begin(), lru.end(), line);
+        if (it != lru.end())
+            lru.erase(it);
+        _dirty.erase(line);
+    }
+
+  private:
+    uint32_t _assoc;
+    uint32_t _lineBytes;
+    uint64_t _numSets;
+    std::map<uint64_t, std::list<uint64_t>> _sets;
+    std::unordered_map<uint64_t, bool> _dirty;
+};
+
+/** (sizeBytes, assoc, lineBytes) geometry grid. */
+class CacheFuzzTest
+    : public testing::TestWithParam<
+          std::tuple<uint64_t, uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CacheFuzzTest, MatchesReferenceLru)
+{
+    auto [size, assoc, line] = GetParam();
+    SetAssocCache cache({size, assoc, line});
+    RefCache ref(size, assoc, line);
+    Pcg32 rng(1234 + size + assoc + line);
+
+    // Footprint ~4x the cache so evictions are common.
+    uint64_t span = 4 * size;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t addr = rng.below64(span);
+        uint32_t op = rng.below(10);
+        if (op < 6) {
+            bool write = rng.chance(0.3);
+            bool alloc = rng.chance(0.9);
+            AccessResult got = cache.access(addr, write, alloc);
+            RefCache::Result want = ref.access(addr, write, alloc);
+            ASSERT_EQ(got.hit, want.hit) << "iter " << i;
+            ASSERT_EQ(got.victimValid, want.victimValid) << "iter " << i;
+            if (got.victimValid) {
+                ASSERT_EQ(got.victimLineAddr, want.victimLine)
+                    << "iter " << i;
+                ASSERT_EQ(got.victimDirty, want.victimDirty)
+                    << "iter " << i;
+            }
+        } else if (op < 8) {
+            ASSERT_EQ(cache.probe(addr), ref.probe(addr)) << "iter "
+                                                          << i;
+        } else {
+            auto inv = cache.invalidate(addr);
+            bool present = ref.probe(addr);
+            ASSERT_EQ(inv.wasPresent, present) << "iter " << i;
+            ref.invalidate(addr);
+        }
+    }
+}
+
+TEST_P(CacheFuzzTest, ResidencyNeverExceedsCapacity)
+{
+    auto [size, assoc, line] = GetParam();
+    SetAssocCache cache({size, assoc, line});
+    Pcg32 rng(99);
+    for (int i = 0; i < 5000; ++i)
+        cache.access(rng.below64(16 * size), rng.chance(0.5), true);
+    EXPECT_LE(cache.residentLines(), size / line);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheFuzzTest,
+    testing::Values(std::make_tuple(uint64_t(1024), 1u, 64u),
+                    std::make_tuple(uint64_t(2048), 2u, 64u),
+                    std::make_tuple(uint64_t(4096), 4u, 64u),
+                    std::make_tuple(uint64_t(8192), 8u, 32u),
+                    std::make_tuple(uint64_t(32768), 4u, 128u),
+                    std::make_tuple(uint64_t(16384), 16u, 64u)));
+
+} // namespace
+} // namespace storemlp

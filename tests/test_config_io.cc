@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for config/profile text serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/config_io.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+TEST(ConfigIo, SimConfigRoundTrip)
+{
+    SimConfig c = SimConfig::wc3();
+    c.storePrefetch = StorePrefetch::AtExecute;
+    c.storeQueueSize = 64;
+    c.scout = ScoutMode::Hws2;
+    c.tm.enabled = false;
+    c.missLatency = 750;
+
+    std::stringstream ss;
+    saveSimConfig(ss, c);
+    SimConfig r = loadSimConfig(ss);
+
+    EXPECT_EQ(r.name, c.name);
+    EXPECT_EQ(r.storePrefetch, c.storePrefetch);
+    EXPECT_EQ(r.storeQueueSize, c.storeQueueSize);
+    EXPECT_EQ(r.memoryModel, c.memoryModel);
+    EXPECT_EQ(r.sle, c.sle);
+    EXPECT_EQ(r.prefetchPastSerializing, c.prefetchPastSerializing);
+    EXPECT_EQ(r.scout, c.scout);
+    EXPECT_EQ(r.missLatency, c.missLatency);
+}
+
+TEST(ConfigIo, ParsesMinimalConfig)
+{
+    std::stringstream ss(
+        "# a comment\n"
+        "\n"
+        "storePrefetch = sp2\n"
+        "memoryModel = wc\n"
+        "sle = true\n");
+    SimConfig c = loadSimConfig(ss);
+    EXPECT_EQ(c.storePrefetch, StorePrefetch::AtExecute);
+    EXPECT_EQ(c.memoryModel, MemoryModel::WeakConsistency);
+    EXPECT_TRUE(c.sle);
+    // Untouched knobs keep their defaults.
+    EXPECT_EQ(c.storeQueueSize, 32u);
+}
+
+TEST(ConfigIo, RejectsUnknownKey)
+{
+    std::stringstream ss("storeQueue = 64\n"); // typo
+    EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+}
+
+TEST(ConfigIo, RejectsBadValues)
+{
+    {
+        std::stringstream ss("storeQueueSize = many\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+    {
+        std::stringstream ss("sle = maybe\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+    {
+        std::stringstream ss("storePrefetch = sp9\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+    {
+        std::stringstream ss("just a line without equals\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+}
+
+TEST(ConfigIo, TmKnobs)
+{
+    std::stringstream ss(
+        "tmEnabled = true\n"
+        "tmAbortProb = 0.25\n"
+        "tmAbortPenaltyCycles = 80\n");
+    SimConfig c = loadSimConfig(ss);
+    EXPECT_TRUE(c.tm.enabled);
+    EXPECT_DOUBLE_EQ(c.tm.abortProb, 0.25);
+    EXPECT_DOUBLE_EQ(c.tm.abortPenaltyCycles, 80.0);
+}
+
+TEST(ConfigIo, ProfileRoundTrip)
+{
+    WorkloadProfile p = WorkloadProfile::tpcw();
+    std::stringstream ss;
+    saveWorkloadProfile(ss, p);
+    WorkloadProfile r = loadWorkloadProfile(ss);
+
+    EXPECT_EQ(r.name, p.name);
+    EXPECT_DOUBLE_EQ(r.loadFrac, p.loadFrac);
+    EXPECT_DOUBLE_EQ(r.storeFrac, p.storeFrac);
+    EXPECT_DOUBLE_EQ(r.storeColdProb, p.storeColdProb);
+    EXPECT_EQ(r.storeMissRegionBytes, p.storeMissRegionBytes);
+    EXPECT_DOUBLE_EQ(r.lockProb, p.lockProb);
+    EXPECT_DOUBLE_EQ(r.cpiOnChip, p.cpiOnChip);
+    EXPECT_EQ(r.flushLenMean, p.flushLenMean);
+}
+
+TEST(ConfigIo, ProfileBaseSelection)
+{
+    std::stringstream ss(
+        "base = specjbb\n"
+        "lockProb = 0.01\n");
+    WorkloadProfile p = loadWorkloadProfile(ss);
+    EXPECT_EQ(p.name, "SPECjbb");
+    EXPECT_DOUBLE_EQ(p.lockProb, 0.01);
+    // Other knobs come from the base profile.
+    EXPECT_DOUBLE_EQ(p.storeFrac, WorkloadProfile::specjbb().storeFrac);
+}
+
+TEST(ConfigIo, BaseMustComeFirst)
+{
+    std::stringstream ss(
+        "lockProb = 0.01\n"
+        "base = specjbb\n");
+    EXPECT_THROW(loadWorkloadProfile(ss), ConfigParseError);
+}
+
+TEST(ConfigIo, ProfileRejectsUnknownKey)
+{
+    std::stringstream ss("storeFrequency = 0.1\n");
+    EXPECT_THROW(loadWorkloadProfile(ss), ConfigParseError);
+}
+
+TEST(ConfigIo, MissingFileThrows)
+{
+    EXPECT_THROW(loadSimConfigFile("/nonexistent/x.cfg"),
+                 ConfigParseError);
+    EXPECT_THROW(loadWorkloadProfileFile("/nonexistent/x.prof"),
+                 ConfigParseError);
+}
+
+TEST(ConfigIo, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/storemlp_cfg_test.cfg";
+    {
+        std::ofstream ofs(path);
+        SimConfig c = SimConfig::pc3();
+        c.storeBufferSize = 8;
+        saveSimConfig(ofs, c);
+    }
+    SimConfig r = loadSimConfigFile(path);
+    EXPECT_TRUE(r.sle);
+    EXPECT_EQ(r.storeBufferSize, 8u);
+}
+
+TEST(ConfigIo, ShippedPresetsLoad)
+{
+    // The configs/ presets must stay loadable as the schema evolves.
+    const char *files[] = {"pc1.cfg", "pc2.cfg", "pc3.cfg",
+                           "wc1.cfg", "wc2.cfg", "wc3.cfg",
+                           "hws2.cfg"};
+    int loaded = 0;
+    for (const char *f : files) {
+        // Tests run from the build tree; look for the source configs.
+        for (const std::string &prefix :
+             {std::string("configs/"), std::string("../configs/"),
+              std::string("../../configs/")}) {  // NOLINT
+            std::ifstream probe(prefix + f);
+            if (!probe)
+                continue;
+            SimConfig c = loadSimConfigFile(prefix + f);
+            EXPECT_FALSE(c.name.empty());
+            ++loaded;
+            break;
+        }
+    }
+    if (loaded == 0)
+        GTEST_SKIP() << "configs/ not reachable from test cwd";
+    EXPECT_EQ(loaded, 7);
+}
+
+TEST(ConfigIo, PresetPc3Semantics)
+{
+    std::stringstream ss;
+    saveSimConfig(ss, SimConfig::pc3());
+    SimConfig c = loadSimConfig(ss);
+    EXPECT_TRUE(c.sle);
+    EXPECT_TRUE(c.prefetchPastSerializing);
+    EXPECT_EQ(c.memoryModel, MemoryModel::ProcessorConsistency);
+}
+
+} // namespace
+} // namespace storemlp

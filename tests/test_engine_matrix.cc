@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Broad configuration-matrix test: every combination of the major
+ * engine knobs runs to completion on a small workload and satisfies
+ * the epoch-model accounting invariants. This is the regression net
+ * for knob interactions (e.g. WC + scout + coalescing off).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/runner.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+using MatrixParam = std::tuple<int /*prefetch*/, int /*model*/,
+                               int /*scout*/, int /*elide*/,
+                               int /*coalesce*/>;
+
+class EngineMatrixTest : public testing::TestWithParam<MatrixParam>
+{
+};
+
+TEST_P(EngineMatrixTest, RunsAndSatisfiesInvariants)
+{
+    auto [sp, model, scout, elide, coalesce] = GetParam();
+
+    RunSpec spec;
+    spec.profile = WorkloadProfile::testTiny();
+    spec.config = SimConfig::defaults();
+    spec.config.storePrefetch = static_cast<StorePrefetch>(sp);
+    spec.config.memoryModel = model
+        ? MemoryModel::WeakConsistency
+        : MemoryModel::ProcessorConsistency;
+    spec.config.scout = static_cast<ScoutMode>(scout);
+    if (elide == 1) {
+        spec.config.sle = true;
+    } else if (elide == 2) {
+        spec.config.tm.enabled = true;
+        spec.config.tm.abortProb = 0.5;
+    }
+    spec.config.coalesceBytes = coalesce ? 8 : 0;
+    spec.warmupInsts = 20000;
+    spec.measureInsts = 60000;
+
+    SimResult res = Runner::run(spec).sim;
+
+    EXPECT_GE(res.instructions, 60000u);
+    uint64_t term_sum = 0;
+    for (unsigned i = 0; i < kNumTermConds; ++i)
+        term_sum += res.termCounts[i];
+    EXPECT_EQ(term_sum, res.epochs);
+    EXPECT_EQ(res.mlpHist.total(), res.epochs);
+    EXPECT_EQ(res.storeVsOtherMlp.total(), res.epochs);
+    EXPECT_EQ(res.mlpHist.bucket(0), 0u);
+    uint64_t misses = res.missLoads + res.missStores + res.missInsts;
+    EXPECT_GE(misses, res.epochMisses);
+    EXPECT_LE(res.overlappedStores,
+              res.missStores + res.smacAcceleratedStores);
+}
+
+std::string
+matrixName(const testing::TestParamInfo<MatrixParam> &info)
+{
+    auto [sp, model, scout, elide, coalesce] = info.param;
+    static const char *sps[] = {"Sp0", "Sp1", "Sp2"};
+    static const char *scouts[] = {"NoHws", "Hws0", "Hws1", "Hws2"};
+    static const char *elides[] = {"Plain", "Sle", "Tm"};
+    std::string s = sps[sp];
+    s += model ? "Wc" : "Pc";
+    s += scouts[scout];
+    s += elides[elide];
+    s += coalesce ? "Coal" : "NoCoal";
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnobs, EngineMatrixTest,
+    testing::Combine(testing::Range(0, 3),  // prefetch
+                     testing::Range(0, 2),  // model
+                     testing::Range(0, 4),  // scout
+                     testing::Range(0, 3),  // plain/SLE/TM
+                     testing::Range(0, 2)), // coalescing
+    matrixName);
+
+} // namespace
+} // namespace storemlp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Figure-shape regression tests: the paper's headline qualitative
+ * claims, asserted at moderate run lengths so they guard the
+ * calibration and the engine together. These are the statements
+ * EXPERIMENTS.md reports; if one breaks, the reproduction story
+ * breaks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+constexpr uint64_t kWarmup = 600 * 1000;
+constexpr uint64_t kMeasure = 500 * 1000;
+
+std::string
+workloadName(const testing::TestParamInfo<int> &info)
+{
+    static const char *names[] = {"Database", "TPCW", "SPECjbb",
+                                  "SPECweb"};
+    return names[info.param];
+}
+
+class FigureShapeTest : public testing::TestWithParam<int>
+{
+  protected:
+    RunOutput
+    run(const std::function<void(RunSpec &)> &tweak) const
+    {
+        RunSpec spec;
+        spec.profile = WorkloadProfile::allCommercial()[GetParam()];
+        spec.config = SimConfig::defaults();
+        spec.warmupInsts = kWarmup;
+        spec.measureInsts = kMeasure;
+        tweak(spec);
+        return Runner::run(spec);
+    }
+};
+
+// Figure 2 / Section 5.1: "store prefetching is highly effective";
+// without it, missing stores contribute a large share of off-chip CPI.
+TEST_P(FigureShapeTest, StoresContributeSubstantiallyWithoutPrefetch)
+{
+    RunOutput sp0 = run([](RunSpec &s) {
+        s.config.storePrefetch = StorePrefetch::None;
+    });
+    RunOutput perfect = run([](RunSpec &s) {
+        s.config.storePrefetch = StorePrefetch::None;
+        s.config.perfectStores = true;
+    });
+    double contribution = 1.0 -
+        perfect.sim.epochsPer1000() / sp0.sim.epochsPer1000();
+    // Paper: 17%..46% across workloads at Sp0.
+    EXPECT_GT(contribution, 0.12);
+    EXPECT_LT(contribution, 0.70);
+}
+
+// Section 5.1: prefetching shrinks the store contribution but does
+// not eliminate it (serializing instructions remain).
+TEST_P(FigureShapeTest, PrefetchingShrinksButKeepsStoreContribution)
+{
+    RunOutput sp0 = run([](RunSpec &s) {
+        s.config.storePrefetch = StorePrefetch::None;
+    });
+    RunOutput sp1 = run([](RunSpec &) {});
+    RunOutput perfect = run([](RunSpec &s) {
+        s.config.perfectStores = true;
+    });
+    double at_sp0 = sp0.sim.epochsPer1000() -
+        perfect.sim.epochsPer1000();
+    double at_sp1 = sp1.sim.epochsPer1000() -
+        perfect.sim.epochsPer1000();
+    EXPECT_LT(at_sp1, at_sp0);       // prefetching helps...
+    EXPECT_GT(at_sp1, 0.05 * at_sp0); // ...but a gap remains
+}
+
+// Figure 2: "for all four workloads, store MLP is not sensitive to
+// the store buffer size" (8 entries suffice).
+TEST_P(FigureShapeTest, StoreBufferSizeIrrelevant)
+{
+    RunOutput sb8 = run([](RunSpec &s) {
+        s.config.storeBufferSize = 8;
+    });
+    RunOutput sb32 = run([](RunSpec &s) {
+        s.config.storeBufferSize = 32;
+    });
+    EXPECT_NEAR(sb8.sim.epochsPer1000(), sb32.sim.epochsPer1000(),
+                0.05 * sb32.sim.epochsPer1000() + 0.05);
+}
+
+// Figure 3: store serialize is the dominant condition among epochs
+// with store MLP >= 1 for TPC-W / SPECjbb / SPECweb.
+TEST_P(FigureShapeTest, StoreSerializeDominatesStoreEpochs)
+{
+    if (GetParam() == 0)
+        GTEST_SKIP() << "Database has the mixed profile";
+    RunOutput out = run([](RunSpec &) {});
+    double serialize =
+        out.sim.termFractionStoreEpochs(TermCond::StoreSerialize);
+    double store_epochs = out.sim.storeEpochFraction();
+    ASSERT_GT(store_epochs, 0.0);
+    EXPECT_GT(serialize / store_epochs, 0.5)
+        << "store serialize should dominate the store epochs";
+}
+
+// Figure 3B / Section 5.3: under PC3 the store-serialize condition
+// collapses.
+TEST_P(FigureShapeTest, Pc3CollapsesStoreSerialize)
+{
+    RunOutput base = run([](RunSpec &) {});
+    RunOutput pc3 = run([](RunSpec &s) {
+        SimConfig c = SimConfig::pc3();
+        c.storePrefetch = s.config.storePrefetch;
+        s.config = c;
+    });
+    EXPECT_LT(pc3.sim.termFractionStoreEpochs(
+                  TermCond::StoreSerialize),
+              0.5 * base.sim.termFractionStoreEpochs(
+                        TermCond::StoreSerialize) +
+                  0.01);
+}
+
+// Figure 7: the consistency gap exists and SLE narrows it.
+TEST_P(FigureShapeTest, SleNarrowsConsistencyGap)
+{
+    RunOutput pc1 = run([](RunSpec &) {});
+    RunOutput wc1 = run([](RunSpec &s) {
+        s.config = SimConfig::wc1();
+    });
+    RunOutput pc3 = run([](RunSpec &s) {
+        s.config = SimConfig::pc3();
+    });
+    double gap1 = pc1.sim.epochsPer1000() - wc1.sim.epochsPer1000();
+    double gap3 = pc3.sim.epochsPer1000() - wc1.sim.epochsPer1000();
+    EXPECT_GT(gap1, 0.0);
+    EXPECT_LT(gap3, 0.55 * gap1 + 0.02);
+}
+
+// Figure 8: HWS2 nearly eliminates the store impact.
+TEST_P(FigureShapeTest, Hws2NearlyEliminatesStoreImpact)
+{
+    RunOutput hws2 = run([](RunSpec &s) {
+        s.config.scout = ScoutMode::Hws2;
+    });
+    RunOutput floor = run([](RunSpec &s) {
+        s.config.scout = ScoutMode::Hws2;
+        s.config.perfectStores = true;
+    });
+    RunOutput base = run([](RunSpec &) {});
+    RunOutput base_floor = run([](RunSpec &s) {
+        s.config.perfectStores = true;
+    });
+    double store_cpi_hws2 = hws2.sim.epochsPer1000() -
+        floor.sim.epochsPer1000();
+    double store_cpi_base = base.sim.epochsPer1000() -
+        base_floor.sim.epochsPer1000();
+    EXPECT_LT(store_cpi_hws2, 0.75 * store_cpi_base + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, FigureShapeTest,
+                         testing::Range(0, 4), workloadName);
+
+} // namespace
+} // namespace storemlp

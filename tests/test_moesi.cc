@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the MOESI protocol extension (paper Section 3.3.3: the
+ * SMAC scheme "can be easily extended to the MOESI protocol").
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/bus.hh"
+#include "coherence/chip.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+MesiState
+l2State(ChipNode &chip, uint64_t line)
+{
+    auto st = chip.hierarchy().l2().probeState(line);
+    return st ? static_cast<MesiState>(*st) : MesiState::Invalid;
+}
+
+struct MoesiPair
+{
+    SnoopBus bus;
+    ChipNode a{HierarchyConfig{}, 0, std::nullopt,
+               CoherenceProtocol::Moesi};
+    ChipNode b{HierarchyConfig{}, 1, std::nullopt,
+               CoherenceProtocol::Moesi};
+
+    MoesiPair()
+    {
+        a.connect(&bus);
+        b.connect(&bus);
+    }
+};
+
+TEST(Moesi, RemoteReadKeepsDirtyLineOwned)
+{
+    MoesiPair m;
+    m.a.store(0x10000); // Modified in a
+    m.b.load(0x10000);  // remote read
+    // MOESI: the dirty line stays on chip a in Owned state.
+    EXPECT_EQ(l2State(m.a, 0x10000), MesiState::Owned);
+    EXPECT_EQ(l2State(m.b, 0x10000), MesiState::Shared);
+}
+
+TEST(Moesi, MesiWritesBackInstead)
+{
+    SnoopBus bus;
+    ChipNode a(HierarchyConfig{}, 0); // MESI default
+    ChipNode b(HierarchyConfig{}, 1);
+    a.connect(&bus);
+    b.connect(&bus);
+    a.store(0x10000);
+    b.load(0x10000);
+    EXPECT_EQ(l2State(a, 0x10000), MesiState::Shared);
+}
+
+TEST(Moesi, FurtherReadsLeaveOwnerAlone)
+{
+    SnoopBus bus;
+    ChipNode a(HierarchyConfig{}, 0, std::nullopt,
+               CoherenceProtocol::Moesi);
+    ChipNode b(HierarchyConfig{}, 1, std::nullopt,
+               CoherenceProtocol::Moesi);
+    ChipNode c(HierarchyConfig{}, 2, std::nullopt,
+               CoherenceProtocol::Moesi);
+    a.connect(&bus);
+    b.connect(&bus);
+    c.connect(&bus);
+
+    a.store(0x20000);
+    b.load(0x20000);
+    c.load(0x20000);
+    EXPECT_EQ(l2State(a, 0x20000), MesiState::Owned);
+    EXPECT_EQ(l2State(c, 0x20000), MesiState::Shared);
+}
+
+TEST(Moesi, StoreToOwnedLineUpgrades)
+{
+    MoesiPair m;
+    m.a.store(0x30000);
+    m.b.load(0x30000); // a: Owned, b: Shared
+    uint64_t upgr = m.bus.upgrades();
+    auto out = m.a.store(0x30000); // write again: must invalidate b
+    EXPECT_NE(out.level, MissLevel::OffChip);
+    EXPECT_EQ(m.bus.upgrades(), upgr + 1);
+    EXPECT_EQ(l2State(m.a, 0x30000), MesiState::Modified);
+    EXPECT_FALSE(m.b.hierarchy().l2Probe(0x30000));
+}
+
+TEST(Moesi, RemoteStoreInvalidatesOwnedCopy)
+{
+    MoesiPair m;
+    m.a.store(0x40000);
+    m.b.load(0x40000); // a: Owned, b: Shared
+    // b already holds a Shared copy: its store is an L2 hit that
+    // upgrades via the bus and invalidates a's Owned copy.
+    uint64_t upgr = m.bus.upgrades();
+    auto out = m.b.store(0x40000);
+    EXPECT_NE(out.level, MissLevel::OffChip);
+    EXPECT_EQ(m.bus.upgrades(), upgr + 1);
+    EXPECT_FALSE(m.a.hierarchy().l2Probe(0x40000));
+    EXPECT_EQ(l2State(m.b, 0x40000), MesiState::Modified);
+}
+
+TEST(Moesi, OwnedEvictionDoesNotClaimSmacOwnership)
+{
+    SnoopBus bus;
+    SmacConfig smac_cfg;
+    smac_cfg.entries = 1024;
+    ChipNode a(HierarchyConfig{}, 0, smac_cfg,
+               CoherenceProtocol::Moesi);
+    ChipNode b(HierarchyConfig{}, 1, std::nullopt,
+               CoherenceProtocol::Moesi);
+    a.connect(&bus);
+    b.connect(&bus);
+
+    a.store(0x50000); // Modified
+    b.load(0x50000);  // a: Owned (b holds a shared copy!)
+    // Evict the Owned line from a's L2 by filling the set.
+    for (int i = 1; i <= 5; ++i)
+        a.load(0x50000 + i * 512 * 1024);
+    // The line is dirty, but shared by b: the SMAC must NOT retain
+    // exclusive ownership.
+    EXPECT_FALSE(a.smac()->ownsLine(0x50000));
+}
+
+TEST(Moesi, ModifiedEvictionStillPopulatesSmac)
+{
+    SmacConfig smac_cfg;
+    smac_cfg.entries = 1024;
+    ChipNode a(HierarchyConfig{}, 0, smac_cfg,
+               CoherenceProtocol::Moesi);
+    a.store(0x60000);
+    for (int i = 1; i <= 5; ++i)
+        a.load(0x60000 + i * 512 * 1024);
+    EXPECT_TRUE(a.smac()->ownsLine(0x60000));
+}
+
+TEST(Moesi, ProtocolAccessorsReport)
+{
+    ChipNode mesi(HierarchyConfig{}, 0);
+    ChipNode moesi(HierarchyConfig{}, 1, std::nullopt,
+                   CoherenceProtocol::Moesi);
+    EXPECT_EQ(mesi.protocol(), CoherenceProtocol::Mesi);
+    EXPECT_EQ(moesi.protocol(), CoherenceProtocol::Moesi);
+    EXPECT_STREQ(mesiName(MesiState::Owned), "O");
+}
+
+} // namespace
+} // namespace storemlp

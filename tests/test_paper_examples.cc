@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Integration tests reproducing the paper's worked examples (Section
+ * 3): the epoch sets, epoch counts and MLP values of Examples 1-6 and
+ * the store-prefetching variants of Example 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hh"
+#include "trace/rewriter.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+using namespace storemlp::test;
+
+// Example 1: missing store; 4 other stores; missing load.
+// SB=2, SQ=2, PC, no prefetching. Epoch sets {{I1}, {I2..I6}}: two
+// epochs, MLP = (1+1)/2 = 1.
+Trace
+example1Trace()
+{
+    TraceBuilder b;
+    b.store(missAddr(0), 2);  // I1 missing store
+    b.store(warmAddr(1), 3);  // I2
+    b.store(warmAddr(2), 4);  // I3
+    b.store(warmAddr(3), 5);  // I4
+    b.store(warmAddr(4), 6);  // I5
+    b.load(missAddr(1), 7);   // I6 missing load
+    fillers(b, 80);
+    return b.build();
+}
+
+TEST(PaperExample1, PcTwoEpochsMlpOne)
+{
+    SimRig rig;
+    SimResult res = rig.run(example1Trace(), exampleConfig());
+
+    EXPECT_EQ(res.epochs, 2u);
+    EXPECT_EQ(res.epochMisses, 2u);
+    EXPECT_DOUBLE_EQ(res.mlp(), 1.0);
+    EXPECT_EQ(res.missStores, 1u);
+    EXPECT_EQ(res.missLoads, 1u);
+    // First epoch: store buffer full preceded by store queue full.
+    EXPECT_EQ(res.termCounts[static_cast<unsigned>(
+                  TermCond::SqStoreBufferFull)],
+              1u);
+    EXPECT_EQ(res.termCounts[static_cast<unsigned>(TermCond::WindowFull)],
+              1u);
+}
+
+// Example 1 under weak consistency: "stores I2..I5 can commit even
+// while the missing store I1 is waiting ... the missing load I6 can
+// issue in the first epoch, reducing the number of epochs from two to
+// one."
+TEST(PaperExample1, WcOneEpochMlpTwo)
+{
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.memoryModel = MemoryModel::WeakConsistency;
+    SimResult res = rig.run(example1Trace(), cfg);
+
+    EXPECT_EQ(res.epochs, 1u);
+    EXPECT_EQ(res.epochMisses, 2u);
+    EXPECT_DOUBLE_EQ(res.mlp(), 2.0);
+}
+
+// Example 2: missing store; serializing instruction; missing load.
+// Epoch sets {{I1}, {I2, I3}}: two epochs, MLP 1.
+TEST(PaperExample2, SerializingInstructionSplitsEpochs)
+{
+    TraceBuilder b;
+    b.store(missAddr(0), 2); // I1 missing store
+    b.membar();              // I2 serializing
+    b.load(missAddr(1), 3);  // I3 missing load
+    fillers(b, 80);
+
+    SimRig rig;
+    SimResult res = rig.run(b.build(), exampleConfig());
+
+    EXPECT_EQ(res.epochs, 2u);
+    EXPECT_EQ(res.epochMisses, 2u);
+    EXPECT_DOUBLE_EQ(res.mlp(), 1.0);
+    // The first epoch ends in store serialize: the serializing
+    // instruction was preceded by a missing store, not a missing load.
+    EXPECT_EQ(res.termCounts[static_cast<unsigned>(
+                  TermCond::StoreSerialize)],
+              1u);
+}
+
+// Example 3: missing load; missing store; missing instruction;
+// missing store. Epoch sets {{I1,I3}, {I2,I3}, {I4}}: three epochs,
+// MLP = (2+1+1)/3 = 1.33. (A trailing membar materializes the stalls
+// the example implies; it adds no off-chip accesses of its own.)
+TEST(PaperExample3, InstructionMissOverlapsWithLoadMiss)
+{
+    TraceBuilder b;
+    b.load(missAddr(0), 2);            // I1 missing load
+    b.store(missAddr(1), 3);           // I2 missing store
+    b.alu().atPc(missPc(0));           // I3 missing instruction
+    b.store(missAddr(2), 4).atPc(0x2000); // I4 (back in warm code)
+    b.membar();
+    fillers(b, 10);
+
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.storeQueueSize = 32;
+    cfg.storeBufferSize = 16;
+    SimResult res = rig.run(b.build(), cfg);
+
+    EXPECT_EQ(res.epochs, 3u);
+    EXPECT_EQ(res.epochMisses, 4u);
+    EXPECT_NEAR(res.mlp(), 4.0 / 3.0, 1e-9);
+    EXPECT_EQ(res.missLoads, 1u);
+    EXPECT_EQ(res.missStores, 2u);
+    EXPECT_EQ(res.missInsts, 1u);
+    // The first epoch ends at the instruction miss and contains two
+    // misses (the load I1 and the instruction fetch I3).
+    EXPECT_EQ(res.termCounts[static_cast<unsigned>(
+                  TermCond::InstructionMiss)],
+              1u);
+    EXPECT_EQ(res.mlpHist.bucket(2), 1u);
+    EXPECT_EQ(res.mlpHist.bucket(1), 2u);
+}
+
+// Example 4: three missing stores before a serializing instruction.
+// No prefetching: {{I1},{I2},{I3}}; prefetch at retire: {{I1,I2},{I3}};
+// prefetch at execute: {{I1,I2,I3}}.
+Trace
+example4Trace()
+{
+    TraceBuilder b;
+    b.store(missAddr(0), 2); // I1
+    b.store(missAddr(1), 3); // I2
+    b.store(missAddr(2), 4); // I3
+    b.membar();              // I4 serializing
+    fillers(b, 10);
+    return b.build();
+}
+
+TEST(PaperExample4, NoPrefetchThreeEpochs)
+{
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.storePrefetch = StorePrefetch::None;
+    SimResult res = rig.run(example4Trace(), cfg);
+    EXPECT_EQ(res.epochs, 3u);
+    EXPECT_EQ(res.epochMisses, 3u);
+    EXPECT_DOUBLE_EQ(res.storeMlp(), 1.0);
+}
+
+TEST(PaperExample4, PrefetchAtRetireTwoEpochs)
+{
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.storePrefetch = StorePrefetch::AtRetire;
+    SimResult res = rig.run(example4Trace(), cfg);
+    EXPECT_EQ(res.epochs, 2u);
+    EXPECT_EQ(res.epochMisses, 3u);
+    // First epoch overlaps I1 and I2 (both in the store queue).
+    EXPECT_EQ(res.storeMlpHist.bucket(2), 1u);
+    EXPECT_EQ(res.storeMlpHist.bucket(1), 1u);
+}
+
+TEST(PaperExample4, PrefetchAtExecuteOneEpoch)
+{
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.storePrefetch = StorePrefetch::AtExecute;
+    SimResult res = rig.run(example4Trace(), cfg);
+    EXPECT_EQ(res.epochs, 1u);
+    EXPECT_EQ(res.epochMisses, 3u);
+    EXPECT_DOUBLE_EQ(res.storeMlp(), 3.0);
+}
+
+// Example 4 with the SMAC: "assume that I2 and I3 hit in the SMAC
+// ... all three stores can proceed in the same epoch." With ownership
+// retained on chip, the SMAC-hit stores never stall the queue.
+TEST(PaperExample4, SmacHitsEliminateStalls)
+{
+    SmacConfig smac_cfg;
+    smac_cfg.entries = 1024;
+    SimRig rig(smac_cfg);
+
+    // Give the SMAC ownership of I2's and I3's lines.
+    rig.chip.smac()->installEvicted(missAddr(1));
+    rig.chip.smac()->installEvicted(missAddr(2));
+
+    SimConfig cfg = exampleConfig();
+    cfg.storePrefetch = StorePrefetch::None;
+    SimResult res = rig.run(example4Trace(), cfg);
+
+    // Only I1's miss can stall; I2/I3 commit without waiting.
+    EXPECT_EQ(res.epochs, 1u);
+    EXPECT_EQ(res.smacAcceleratedStores, 2u);
+}
+
+// Example 5 (PC critical section): missing store; casa; missing load;
+// missing store; ...; release store; missing load. With prefetch at
+// execute the paper's grouping {{I1}, {I2,I3,I4,I7}} emerges: the
+// casa waits for I1, then the three remaining misses overlap.
+TEST(PaperExample5, PcCriticalSectionGrouping)
+{
+    uint64_t lock = warmAddr(0);
+    TraceBuilder b;
+    b.store(missAddr(0), 2);                      // I1 missing store
+    b.casa(lock, 3).withFlags(kFlagLockAcquire);  // I2 lock acquire
+    b.load(missAddr(1), 4);                       // I3 missing load
+    b.store(missAddr(2), 5);                      // I4 missing store
+    b.alu();                                      // I5 ...
+    b.store(lock, 6).withFlags(kFlagLockRelease); // I6 lock release
+    b.load(missAddr(3), 7);                       // I7 missing load
+    fillers(b, 80);
+
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.storeQueueSize = 32;
+    cfg.storeBufferSize = 16;
+    cfg.storePrefetch = StorePrefetch::AtExecute;
+    SimResult res = rig.run(b.build(), cfg);
+
+    EXPECT_EQ(res.epochs, 2u);
+    EXPECT_EQ(res.epochMisses, 4u);
+    // First epoch: just I1. Second: I3, I4, I7 overlapping.
+    EXPECT_EQ(res.mlpHist.bucket(1), 1u);
+    EXPECT_EQ(res.mlpHist.bucket(3), 1u);
+    EXPECT_EQ(res.termCounts[static_cast<unsigned>(
+                  TermCond::StoreSerialize)],
+              1u);
+}
+
+// Example 6 (WC critical section): the isync acquire does NOT wait
+// for the missing store I1 to drain, so all four misses overlap in a
+// single epoch: {{I1,I2,I3,I4,I5,I8}, {I6,I7}}.
+TEST(PaperExample6, WcCriticalSectionSingleEpoch)
+{
+    uint64_t lock = warmAddr(0);
+    TraceBuilder b;
+    b.store(missAddr(0), 2);                        // I1 missing store
+    b.loadLocked(lock, 3);                          // I2 lock acquire
+    b.storeCond(lock, 3);
+    b.isync();                                      // I3
+    b.load(missAddr(1), 4);                         // I4 missing load
+    b.store(missAddr(2), 5);                        // I5 missing store
+    b.lwsync();                                     // I6
+    b.store(lock, 6).withFlags(kFlagLockRelease);   // I7 lock release
+    b.load(missAddr(3), 7);                         // I8 missing load
+    fillers(b, 80);
+
+    SimRig rig;
+    SimConfig cfg = exampleConfig();
+    cfg.memoryModel = MemoryModel::WeakConsistency;
+    cfg.storeQueueSize = 32;
+    cfg.storeBufferSize = 16;
+    // Prefetch at execute lets I5's miss issue while the missing load
+    // I4 still blocks its retirement (as in the Example 5 test).
+    cfg.storePrefetch = StorePrefetch::AtExecute;
+    SimResult res = rig.run(b.build(), cfg);
+
+    EXPECT_EQ(res.epochs, 1u);
+    EXPECT_EQ(res.epochMisses, 4u);
+    EXPECT_DOUBLE_EQ(res.mlp(), 4.0);
+}
+
+// The same critical section under PC takes more epochs than under WC
+// (the paper's central consistency-gap observation).
+TEST(PaperExample56, PcWorseThanWc)
+{
+    uint64_t lock = warmAddr(0);
+    auto build = [&]() {
+        TraceBuilder b;
+        b.store(missAddr(0), 2);
+        b.casa(lock, 3).withFlags(kFlagLockAcquire);
+        b.load(missAddr(1), 4);
+        b.store(missAddr(2), 5);
+        b.store(lock, 6).withFlags(kFlagLockRelease);
+        b.load(missAddr(3), 7);
+        fillers(b, 80);
+        return b.build();
+    };
+
+    SimConfig pc = exampleConfig();
+    pc.storeQueueSize = 32;
+    pc.storeBufferSize = 16;
+    pc.storePrefetch = StorePrefetch::AtRetire;
+
+    SimRig rig_pc;
+    SimResult res_pc = rig_pc.run(build(), pc);
+
+    SimConfig wc = pc;
+    wc.memoryModel = MemoryModel::WeakConsistency;
+    SimRig rig_wc;
+    // The WC run uses the rewritten rendition of the same code.
+    Trace wc_trace = TraceRewriter().toWeakConsistency(build());
+    SimResult res_wc = rig_wc.run(wc_trace, wc);
+
+    EXPECT_GT(res_pc.epochs, res_wc.epochs);
+}
+
+} // namespace
+} // namespace storemlp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the deterministic PCG32 RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/rng.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(7, 1), b(7, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, BelowRespectsBound)
+{
+    Pcg32 r(42);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Pcg32, Below64RespectsBound)
+{
+    Pcg32 r(42);
+    uint64_t bound = 1234567891011ULL;
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below64(bound), bound);
+}
+
+TEST(Pcg32, Below64TrivialBounds)
+{
+    Pcg32 r(42);
+    EXPECT_EQ(r.below64(0), 0u);
+    EXPECT_EQ(r.below64(1), 0u);
+}
+
+TEST(Pcg32, UniformInUnitInterval)
+{
+    Pcg32 r(42);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Pcg32, UniformMeanNearHalf)
+{
+    Pcg32 r(42);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Pcg32, ChanceExtremes)
+{
+    Pcg32 r(42);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Pcg32, ChanceFrequency)
+{
+    Pcg32 r(42);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Pcg32, GeometricMean)
+{
+    Pcg32 r(42);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.geometric(0.5);
+    // Mean of geometric >= 1 with continuation 0.5 is 2.
+    EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Pcg32, GeometricRespectsCap)
+{
+    Pcg32 r(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(r.geometric(0.99, 8), 8u);
+}
+
+TEST(Pcg32, GeometricAtLeastOne)
+{
+    Pcg32 r(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.geometric(0.0), 1u);
+}
+
+} // namespace
+} // namespace storemlp

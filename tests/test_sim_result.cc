@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for SimResult derived metrics and merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sim_result.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+TEST(SimResult, EmptyResultMetricsAreZero)
+{
+    SimResult r;
+    EXPECT_DOUBLE_EQ(r.epi(), 0.0);
+    EXPECT_DOUBLE_EQ(r.mlp(), 0.0);
+    EXPECT_DOUBLE_EQ(r.storeMlp(), 0.0);
+    EXPECT_DOUBLE_EQ(r.overlappedStoreFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(r.termFraction(TermCond::WindowFull), 0.0);
+    EXPECT_DOUBLE_EQ(r.missLoadsPer100(), 0.0);
+}
+
+TEST(SimResult, DerivedMetrics)
+{
+    SimResult r;
+    r.instructions = 10000;
+    r.epochs = 20;
+    r.epochMisses = 50;
+    r.missLoads = 30;
+    r.missStores = 15;
+    r.missInsts = 5;
+    r.overlappedStores = 3;
+    r.termCounts[static_cast<unsigned>(TermCond::WindowFull)] = 12;
+    r.termCounts[static_cast<unsigned>(TermCond::StoreSerialize)] = 8;
+
+    EXPECT_DOUBLE_EQ(r.epi(), 0.002);
+    EXPECT_DOUBLE_EQ(r.epochsPer1000(), 2.0);
+    EXPECT_DOUBLE_EQ(r.mlp(), 2.5);
+    EXPECT_DOUBLE_EQ(r.offChipCpi(500), 1.0);
+    EXPECT_DOUBLE_EQ(r.overlappedStoreFraction(), 0.2);
+    EXPECT_DOUBLE_EQ(r.termFraction(TermCond::WindowFull), 0.6);
+    EXPECT_DOUBLE_EQ(r.termFraction(TermCond::StoreSerialize), 0.4);
+    EXPECT_DOUBLE_EQ(r.missLoadsPer100(), 0.3);
+    EXPECT_DOUBLE_EQ(r.missStoresPer100(), 0.15);
+    EXPECT_DOUBLE_EQ(r.missInstsPer100(), 0.05);
+}
+
+TEST(SimResult, StoreEpochFractions)
+{
+    SimResult r;
+    r.epochs = 10;
+    r.storeMlpHist.sample(1);
+    r.storeMlpHist.sample(2);
+    r.termCountsStoreEpochs[static_cast<unsigned>(
+        TermCond::StoreSerialize)] = 2;
+    EXPECT_DOUBLE_EQ(r.storeEpochFraction(), 0.2);
+    EXPECT_DOUBLE_EQ(
+        r.termFractionStoreEpochs(TermCond::StoreSerialize), 0.2);
+}
+
+TEST(SimResult, MergeAddsEverything)
+{
+    SimResult a;
+    a.instructions = 100;
+    a.epochs = 2;
+    a.missLoads = 3;
+    a.epochMissLoads = 2;
+    a.epochMissStores = 1;
+    a.tmAborts = 1;
+    a.mlpHist.sample(2);
+    a.storeVsOtherMlp.sample(1, 1);
+    a.termCounts[0] = 2;
+
+    SimResult b;
+    b.instructions = 200;
+    b.epochs = 3;
+    b.missLoads = 4;
+    b.epochMissLoads = 3;
+    b.epochMissInsts = 2;
+    b.tmAborts = 2;
+    b.mlpHist.sample(3);
+    b.storeVsOtherMlp.sample(2, 0);
+    b.termCounts[0] = 3;
+
+    a.merge(b);
+    EXPECT_EQ(a.instructions, 300u);
+    EXPECT_EQ(a.epochs, 5u);
+    EXPECT_EQ(a.missLoads, 7u);
+    EXPECT_EQ(a.mlpHist.total(), 2u);
+    EXPECT_EQ(a.mlpHist.bucket(3), 1u);
+    EXPECT_EQ(a.storeVsOtherMlp.cell(2, 0), 1u);
+    EXPECT_EQ(a.termCounts[0], 5u);
+    EXPECT_EQ(a.epochMissLoads, 5u);
+    EXPECT_EQ(a.epochMissStores, 1u);
+    EXPECT_EQ(a.epochMissInsts, 2u);
+    EXPECT_EQ(a.tmAborts, 3u);
+}
+
+TEST(SimResult, PrintMentionsKeyMetrics)
+{
+    SimResult r;
+    r.instructions = 1000;
+    r.epochs = 4;
+    r.epochMisses = 6;
+    r.termCounts[static_cast<unsigned>(TermCond::WindowFull)] = 4;
+    std::ostringstream oss;
+    r.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("epochs/1000"), std::string::npos);
+    EXPECT_NE(s.find("WindowFull"), std::string::npos);
+}
+
+TEST(TermCond, AllConditionsNamed)
+{
+    for (unsigned i = 0; i < kNumTermConds; ++i) {
+        const char *name = termCondName(static_cast<TermCond>(i));
+        EXPECT_STRNE(name, "?");
+    }
+    EXPECT_STREQ(termCondName(TermCond::None), "None");
+    EXPECT_STREQ(missKindName(MissKind::Store), "store");
+}
+
+} // namespace
+} // namespace storemlp

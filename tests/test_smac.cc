@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for the Store Miss Accelerator (SMAC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/smac.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+SmacConfig
+tinySmac()
+{
+    SmacConfig c;
+    c.entries = 16;
+    c.assoc = 4;
+    c.subBlocks = 32;
+    c.lineBytes = 64;
+    return c;
+}
+
+TEST(Smac, PaperGeometry)
+{
+    SmacConfig c; // defaults: 8K entries, 32x64B sub-blocks
+    EXPECT_EQ(c.superBlockBytes(), 2048u);
+    EXPECT_EQ(c.coverageBytes(), 16u * 1024 * 1024); // paper: 16 MB
+}
+
+TEST(Smac, ProbeMissOnEmpty)
+{
+    Smac s(tinySmac());
+    auto r = s.probeStoreMiss(0x1000);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.hitInvalidated);
+    EXPECT_EQ(s.probeMisses(), 1u);
+}
+
+TEST(Smac, InstallThenHit)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x1000);
+    EXPECT_TRUE(s.ownsLine(0x1000));
+    auto r = s.probeStoreMiss(0x1000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(s.probeHits(), 1u);
+}
+
+TEST(Smac, HitConsumesOwnership)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x1000);
+    s.probeStoreMiss(0x1000);
+    // Ownership moved back into the L2: second probe misses.
+    EXPECT_FALSE(s.ownsLine(0x1000));
+    EXPECT_FALSE(s.probeStoreMiss(0x1000).hit);
+}
+
+TEST(Smac, SubBlocksIndependent)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x1000);         // sub-block 0x1000/64 = 64 -> 0
+    EXPECT_FALSE(s.probeStoreMiss(0x1040).hit); // neighbouring line
+    EXPECT_TRUE(s.probeStoreMiss(0x1000).hit);
+}
+
+TEST(Smac, SuperBlockSharing)
+{
+    Smac s(tinySmac());
+    // Two lines in the same 2KB super-block use one tag.
+    s.installEvicted(0x2000);
+    s.installEvicted(0x2040);
+    EXPECT_TRUE(s.ownsLine(0x2000));
+    EXPECT_TRUE(s.ownsLine(0x2040));
+    EXPECT_FALSE(s.ownsLine(0x2080));
+}
+
+TEST(Smac, SnoopInvalidatesAndRemembers)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x3000);
+    EXPECT_TRUE(s.snoopInvalidate(0x3000));
+    EXPECT_EQ(s.coherenceInvalidates(), 1u);
+    EXPECT_FALSE(s.ownsLine(0x3000));
+    // The probe sees the coherence-invalidated marker (Figure 6).
+    auto r = s.probeStoreMiss(0x3000);
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.hitInvalidated);
+    EXPECT_EQ(s.probeHitInvalidated(), 1u);
+}
+
+TEST(Smac, InvalidatedMarkerClearsAfterProbe)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x3000);
+    s.snoopInvalidate(0x3000);
+    s.probeStoreMiss(0x3000);
+    // The store re-fetched ownership; the marker is consumed.
+    auto r = s.probeStoreMiss(0x3000);
+    EXPECT_FALSE(r.hitInvalidated);
+}
+
+TEST(Smac, SnoopOnAbsentLine)
+{
+    Smac s(tinySmac());
+    EXPECT_FALSE(s.snoopInvalidate(0x4000));
+    EXPECT_EQ(s.coherenceInvalidates(), 0u);
+}
+
+TEST(Smac, SnoopOnNonExclusiveSubBlock)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x5000);
+    EXPECT_FALSE(s.snoopInvalidate(0x5040)); // different sub-block
+    EXPECT_TRUE(s.ownsLine(0x5000));
+}
+
+TEST(Smac, ReinstallAfterInvalidation)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x6000);
+    s.snoopInvalidate(0x6000);
+    s.installEvicted(0x6000);
+    EXPECT_TRUE(s.probeStoreMiss(0x6000).hit);
+}
+
+TEST(Smac, TagEvictionDropsOldSuperBlock)
+{
+    SmacConfig cfg = tinySmac(); // 16 entries, 4-way -> 4 sets
+    Smac s(cfg);
+    uint64_t super = cfg.superBlockBytes();
+    uint64_t sets = cfg.entries / cfg.assoc;
+    // Fill one set with assoc+1 super-blocks.
+    for (uint64_t i = 0; i <= cfg.assoc; ++i)
+        s.installEvicted(i * sets * super);
+    EXPECT_EQ(s.tagEvictions(), 1u);
+    // The oldest (LRU) super-block is gone.
+    EXPECT_FALSE(s.ownsLine(0));
+}
+
+TEST(Smac, LruKeepsRecentlyTouched)
+{
+    SmacConfig cfg = tinySmac();
+    Smac s(cfg);
+    uint64_t super = cfg.superBlockBytes();
+    uint64_t sets = cfg.entries / cfg.assoc;
+    uint64_t stride = sets * super;
+    for (uint64_t i = 0; i < cfg.assoc; ++i)
+        s.installEvicted(i * stride);
+    // Touch entry 0 so entry 1 becomes LRU.
+    s.installEvicted(0);
+    s.installEvicted(cfg.assoc * stride); // evicts entry 1
+    EXPECT_TRUE(s.ownsLine(0));
+    EXPECT_FALSE(s.ownsLine(stride));
+}
+
+TEST(Smac, ClearAndResetStats)
+{
+    Smac s(tinySmac());
+    s.installEvicted(0x7000);
+    s.probeStoreMiss(0x7000);
+    s.clear();
+    s.resetStats();
+    EXPECT_FALSE(s.ownsLine(0x7000));
+    EXPECT_EQ(s.installs(), 0u);
+    EXPECT_EQ(s.probeHits(), 0u);
+}
+
+TEST(Smac, CoverageScalesWithEntries)
+{
+    SmacConfig small;
+    small.entries = 8 * 1024;
+    SmacConfig big;
+    big.entries = 128 * 1024;
+    EXPECT_EQ(small.coverageBytes() * 16, big.coverageBytes());
+}
+
+} // namespace
+} // namespace storemlp

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Smoke test: the full stack runs end to end on a small workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+TEST(Smoke, TinyWorkloadRuns)
+{
+    RunSpec spec;
+    spec.profile = WorkloadProfile::testTiny();
+    spec.config = SimConfig::defaults();
+    spec.warmupInsts = 20000;
+    spec.measureInsts = 50000;
+
+    RunOutput out = Runner::run(spec);
+    EXPECT_EQ(out.sim.instructions, 50000u);
+    EXPECT_GT(out.sim.epochs, 0u);
+    EXPECT_GT(out.sim.mlp(), 0.9);
+}
+
+} // namespace
+} // namespace storemlp

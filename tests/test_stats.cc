@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the stats module: counters, histograms, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c("x");
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.name(), "x");
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    c++;
+    c.add(3);
+    EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Counter, Reset)
+{
+    Counter c;
+    c.add(10);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, RatePerThousand)
+{
+    Counter c;
+    c.add(5);
+    EXPECT_DOUBLE_EQ(c.rate(1000), 5.0);
+    EXPECT_DOUBLE_EQ(c.rate(500), 10.0);
+}
+
+TEST(Counter, RateZeroDenominator)
+{
+    Counter c;
+    c.add(5);
+    EXPECT_DOUBLE_EQ(c.rate(0), 0.0);
+}
+
+TEST(Counter, RatePer100)
+{
+    Counter c;
+    c.add(36);
+    EXPECT_NEAR(c.rate(10000, 100.0), 0.36, 1e-12);
+}
+
+TEST(RunningMean, Empty)
+{
+    RunningMean m;
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+    EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(RunningMean, Mean)
+{
+    RunningMean m;
+    m.sample(1.0);
+    m.sample(2.0);
+    m.sample(3.0);
+    EXPECT_DOUBLE_EQ(m.mean(), 2.0);
+    EXPECT_EQ(m.count(), 3u);
+    EXPECT_DOUBLE_EQ(m.sum(), 6.0);
+}
+
+TEST(RunningMean, Reset)
+{
+    RunningMean m;
+    m.sample(5.0);
+    m.reset();
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(BoundedHistogram, BasicSampling)
+{
+    BoundedHistogram h(5);
+    h.sample(0);
+    h.sample(3);
+    h.sample(3);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(BoundedHistogram, ClampsToMaxBucket)
+{
+    BoundedHistogram h(5);
+    h.sample(7);
+    h.sample(100);
+    EXPECT_EQ(h.bucket(5), 2u);
+    // The raw sum keeps the unclamped values.
+    EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+}
+
+TEST(BoundedHistogram, MeanUsesUnclampedValues)
+{
+    BoundedHistogram h(2);
+    h.sample(1);
+    h.sample(9);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(BoundedHistogram, Weighted)
+{
+    BoundedHistogram h(4);
+    h.sample(2, 10);
+    EXPECT_EQ(h.bucket(2), 10u);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(BoundedHistogram, Fraction)
+{
+    BoundedHistogram h(4);
+    h.sample(1);
+    h.sample(1);
+    h.sample(2);
+    EXPECT_NEAR(h.fraction(1), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(h.fraction(2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BoundedHistogram, EmptyFractionIsZero)
+{
+    BoundedHistogram h(4);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(BoundedHistogram, Reset)
+{
+    BoundedHistogram h(4);
+    h.sample(2);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.bucket(2), 0u);
+}
+
+TEST(JointHistogram, BasicCells)
+{
+    JointHistogram j(5, 3);
+    j.sample(1, 2);
+    j.sample(1, 2);
+    j.sample(0, 0);
+    EXPECT_EQ(j.cell(1, 2), 2u);
+    EXPECT_EQ(j.cell(0, 0), 1u);
+    EXPECT_EQ(j.total(), 3u);
+}
+
+TEST(JointHistogram, ClampsBothAxes)
+{
+    JointHistogram j(2, 2);
+    j.sample(10, 10);
+    EXPECT_EQ(j.cell(2, 2), 1u);
+}
+
+TEST(JointHistogram, MarginalX)
+{
+    JointHistogram j(3, 2);
+    j.sample(1, 0);
+    j.sample(1, 1);
+    j.sample(1, 2);
+    j.sample(2, 0);
+    EXPECT_EQ(j.marginalX(1), 3u);
+    EXPECT_EQ(j.marginalX(2), 1u);
+    EXPECT_EQ(j.marginalX(0), 0u);
+}
+
+TEST(JointHistogram, Fraction)
+{
+    JointHistogram j(3, 2);
+    j.sample(1, 1);
+    j.sample(2, 0);
+    EXPECT_NEAR(j.fraction(1, 1), 0.5, 1e-12);
+}
+
+TEST(JointHistogram, WeightedAndReset)
+{
+    JointHistogram j(3, 2);
+    j.sample(1, 1, 7);
+    EXPECT_EQ(j.total(), 7u);
+    j.reset();
+    EXPECT_EQ(j.total(), 0u);
+    EXPECT_EQ(j.cell(1, 1), 0u);
+}
+
+TEST(TextTable, RowsAndCells)
+{
+    TextTable t("demo");
+    t.header({"a", "b"});
+    t.beginRow();
+    t.cell(std::string("x"));
+    t.cell(uint64_t(42));
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.columns(), 2u);
+    EXPECT_EQ(t.at(0, 0), "x");
+    EXPECT_EQ(t.at(0, 1), "42");
+}
+
+TEST(TextTable, NumericPrecision)
+{
+    TextTable t("demo");
+    t.header({"v"});
+    t.beginRow();
+    t.cell(3.14159, 2);
+    EXPECT_EQ(t.at(0, 0), "3.14");
+}
+
+TEST(TextTable, PrintContainsTitleAndHeader)
+{
+    TextTable t("My Title");
+    t.header({"col1", "col2"});
+    t.beginRow();
+    t.cell(std::string("v1"));
+    t.cell(std::string("v2"));
+    std::ostringstream oss;
+    t.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("My Title"), std::string::npos);
+    EXPECT_NE(s.find("col1"), std::string::npos);
+    EXPECT_NE(s.find("v2"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t("demo");
+    t.header({"a", "b"});
+    t.beginRow();
+    t.cell(std::string("1"));
+    t.cell(std::string("2"));
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(FormatFixed, Rounds)
+{
+    EXPECT_EQ(formatFixed(1.005, 1), "1.0");
+    EXPECT_EQ(formatFixed(2.25, 1), "2.2");
+    EXPECT_EQ(formatFixed(-1.5, 0), "-2");
+}
+
+} // namespace
+} // namespace storemlp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the delta-compressed v2 trace format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hh"
+#include "trace/trace_io.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+void
+expectTracesEqual(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc) << i;
+        EXPECT_EQ(a[i].addr, b[i].addr) << i;
+        EXPECT_EQ(a[i].cls, b[i].cls) << i;
+        EXPECT_EQ(a[i].size, b[i].size) << i;
+        EXPECT_EQ(a[i].dst, b[i].dst) << i;
+        EXPECT_EQ(a[i].src1, b[i].src1) << i;
+        EXPECT_EQ(a[i].src2, b[i].src2) << i;
+        EXPECT_EQ(a[i].flags, b[i].flags) << i;
+    }
+}
+
+TEST(TraceV2, HandwrittenRoundTrip)
+{
+    Trace t = TraceBuilder(0x4000)
+        .load(0x123456789a, 5, 6)
+        .store(0xfedcba98, 7)
+        .casa(0x42).withFlags(kFlagLockAcquire)
+        .branch(true, 9)
+        .membar()
+        .alu()
+        .load(0x10).atPc(0x8000000000ULL) // large backward/forward pc
+        .build();
+
+    std::stringstream ss;
+    writeTraceCompressed(ss, t);
+    Trace u = readTrace(ss);
+    expectTracesEqual(t, u);
+}
+
+TEST(TraceV2, GeneratedTraceRoundTrip)
+{
+    Trace t = SyntheticTraceGenerator(WorkloadProfile::database(), 7)
+        .generate(50000);
+    std::stringstream ss;
+    writeTraceCompressed(ss, t);
+    Trace u = readTrace(ss);
+    expectTracesEqual(t, u);
+}
+
+TEST(TraceV2, SubstantiallySmallerThanV1)
+{
+    Trace t = SyntheticTraceGenerator(WorkloadProfile::tpcw(), 7)
+        .generate(50000);
+    std::stringstream v1, v2;
+    writeTrace(v1, t);
+    writeTraceCompressed(v2, t);
+    EXPECT_LT(v2.str().size() * 2, v1.str().size())
+        << "v2 should be at least 2x smaller";
+}
+
+TEST(TraceV2, EmptyTrace)
+{
+    std::stringstream ss;
+    writeTraceCompressed(ss, Trace());
+    EXPECT_TRUE(readTrace(ss).empty());
+}
+
+TEST(TraceV2, AutoDetectsBothFormats)
+{
+    Trace t = TraceBuilder().alu(1, 2, 3).load(0x40, 4).build();
+    std::stringstream v1, v2;
+    writeTrace(v1, t);
+    writeTraceCompressed(v2, t);
+    expectTracesEqual(readTrace(v1), readTrace(v2));
+}
+
+TEST(TraceV2, TruncatedBodyThrows)
+{
+    Trace t = TraceBuilder().load(0x123456, 5).load(0x9999999, 6)
+        .build();
+    std::stringstream ss;
+    writeTraceCompressed(ss, t);
+    std::string s = ss.str();
+    std::stringstream cut(s.substr(0, s.size() - 2));
+    EXPECT_THROW(readTrace(cut), TraceFormatError);
+}
+
+TEST(TraceV2, InvalidClassThrows)
+{
+    std::stringstream ss;
+    writeTraceCompressed(ss, TraceBuilder().alu().build());
+    std::string s = ss.str();
+    s[16] = 0x0f; // class bits = 15 (invalid)
+    std::stringstream bad(s);
+    EXPECT_THROW(readTrace(bad), TraceFormatError);
+}
+
+TEST(TraceV2, FileRoundTripAutoDetected)
+{
+    Trace t = SyntheticTraceGenerator(WorkloadProfile::testTiny(), 3)
+        .generate(5000);
+    std::string path = testing::TempDir() + "/storemlp_v2_test.bin";
+    writeTraceCompressedFile(path, t);
+    Trace u = readTraceFile(path);
+    expectTracesEqual(t, u);
+}
+
+TEST(TraceV2, ZeroRegisterRecordsStayCompact)
+{
+    // Barrier records carry no registers: 1 control byte each after
+    // the first (sequential pcs).
+    TraceBuilder b;
+    for (int i = 0; i < 1000; ++i)
+        b.membar();
+    std::stringstream ss;
+    writeTraceCompressed(ss, b.build());
+    // 16-byte header + first record (ctrl+pc varint) + 999 x 1 byte.
+    EXPECT_LT(ss.str().size(), 1030u);
+}
+
+} // namespace
+} // namespace storemlp

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Statistical property tests of the synthetic workloads, swept over
+ * all four commercial profiles: the structural features the epoch
+ * study depends on (flush phases, dense bursts, store-region reuse,
+ * shared-hot contention, branch-site stability) must actually be
+ * present in the generated streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/generator.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+constexpr uint64_t kN = 400000;
+
+std::string
+profileName(const testing::TestParamInfo<int> &info)
+{
+    static const char *names[] = {"Database", "TPCW", "SPECjbb",
+                                  "SPECweb"};
+    return names[info.param];
+}
+
+class WorkloadStatsTest : public testing::TestWithParam<int>
+{
+  protected:
+    WorkloadProfile profile() const
+    {
+        return WorkloadProfile::allCommercial()[GetParam()];
+    }
+    Trace
+    trace(uint64_t seed = 42) const
+    {
+        return SyntheticTraceGenerator(profile(), seed).generate(kN);
+    }
+};
+
+TEST_P(WorkloadStatsTest, InstructionMixWithinTolerance)
+{
+    WorkloadProfile p = profile();
+    Trace::Mix m = trace().mix();
+    double n = static_cast<double>(m.total);
+    EXPECT_NEAR(100.0 * m.stores / n, p.targetStoresPer100,
+                0.08 * p.targetStoresPer100 + 0.3);
+    EXPECT_NEAR(m.loads / n, p.loadFrac, 0.03);
+    EXPECT_NEAR(m.branches / n, p.branchFrac, 0.02);
+}
+
+TEST_P(WorkloadStatsTest, LockDensityMatchesProfile)
+{
+    WorkloadProfile p = profile();
+    Trace t = trace();
+    uint64_t acquires = 0;
+    for (size_t i = 0; i < t.size(); ++i)
+        acquires += t[i].lockAcquire() ? 1 : 0;
+    double expected = p.lockProb * static_cast<double>(t.size());
+    EXPECT_NEAR(static_cast<double>(acquires), expected,
+                0.25 * expected + 10.0);
+}
+
+TEST_P(WorkloadStatsTest, StoreRegionReuseObservable)
+{
+    WorkloadProfile p = profile();
+    if (p.storeRevisitFrac <= 0.0)
+        GTEST_SKIP() << "profile has no reuse";
+    Trace t = SyntheticTraceGenerator(p, 42).generate(3 * kN);
+    std::unordered_map<uint64_t, int> line_visits;
+    uint64_t priv_base = AddressMap::kPrivateStoreBase;
+    for (size_t i = 0; i < t.size(); ++i) {
+        const TraceRecord &r = t[i];
+        if (!isStoreClass(r.cls))
+            continue;
+        if (r.addr >= priv_base &&
+            r.addr < priv_base + p.storeMissRegionBytes) {
+            ++line_visits[r.addr & ~63ull];
+        }
+    }
+    uint64_t revisited = 0;
+    for (const auto &[line, n] : line_visits)
+        revisited += n > 1 ? 1 : 0;
+    // The reuse pool must produce a visible revisited fraction.
+    EXPECT_GT(revisited, line_visits.size() / 20);
+}
+
+TEST_P(WorkloadStatsTest, SharedHotSubsetContended)
+{
+    WorkloadProfile p = profile();
+    Trace t = trace();
+    uint64_t shared = 0, hot_shared = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        const TraceRecord &r = t[i];
+        if (!isStoreClass(r.cls))
+            continue;
+        if (r.addr >= AddressMap::kSharedStoreBase &&
+            r.addr < AddressMap::kSharedStoreBase +
+                         p.sharedStoreRegionBytes) {
+            ++shared;
+            if (r.addr <
+                AddressMap::kSharedStoreBase + p.sharedHotBytes)
+                ++hot_shared;
+        }
+    }
+    ASSERT_GT(shared, 20u);
+    // The hot subset concentrates well above its size share.
+    EXPECT_GT(static_cast<double>(hot_shared) /
+                  static_cast<double>(shared),
+              0.3);
+}
+
+TEST_P(WorkloadStatsTest, BranchSitesAreStable)
+{
+    Trace t = trace();
+    std::unordered_set<uint64_t> branch_pcs;
+    uint64_t branches = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].cls == InstClass::Branch) {
+            ++branches;
+            branch_pcs.insert(t[i].pc);
+            // Branch sites snap to the last word of a 32B group.
+            EXPECT_EQ(t[i].pc & 31, 28u);
+        }
+    }
+    ASSERT_GT(branches, 1000u);
+    // Each site hosts many dynamic branches (predictor trainability).
+    EXPECT_LT(branch_pcs.size() * 5, branches);
+}
+
+TEST_P(WorkloadStatsTest, BranchOutcomesMostlyDeterministicPerSite)
+{
+    WorkloadProfile p = profile();
+    Trace t = trace();
+    std::unordered_map<uint64_t, std::pair<uint64_t, uint64_t>> site;
+    for (size_t i = 0; i < t.size(); ++i) {
+        if (t[i].cls != InstClass::Branch)
+            continue;
+        auto &[taken, total] = site[t[i].pc];
+        taken += t[i].taken() ? 1 : 0;
+        ++total;
+    }
+    uint64_t deterministic = 0, considered = 0;
+    for (const auto &[pc, tt] : site) {
+        if (tt.second < 20)
+            continue;
+        ++considered;
+        double frac = static_cast<double>(tt.first) /
+            static_cast<double>(tt.second);
+        if (frac < 0.02 || frac > 0.98)
+            ++deterministic;
+    }
+    ASSERT_GT(considered, 50u);
+    EXPECT_GT(static_cast<double>(deterministic) /
+                  static_cast<double>(considered),
+              p.easyBranchFrac - 0.15);
+}
+
+TEST_P(WorkloadStatsTest, DifferentSeedsSameStatistics)
+{
+    Trace::Mix a = trace(1).mix();
+    Trace::Mix b = trace(2).mix();
+    double na = static_cast<double>(a.total);
+    double nb = static_cast<double>(b.total);
+    EXPECT_NEAR(a.stores / na, b.stores / nb, 0.01);
+    EXPECT_NEAR(a.loads / na, b.loads / nb, 0.01);
+}
+
+TEST_P(WorkloadStatsTest, FlushPhasesEmitStoreRuns)
+{
+    WorkloadProfile p = profile();
+    if (p.flushPhaseProb <= 0.0)
+        GTEST_SKIP() << "profile has no flush phases";
+    // Inside flush phases there are no lock acquires for hundreds of
+    // instructions while cold stores keep arriving. Detect at least
+    // one such stretch.
+    Trace t = SyntheticTraceGenerator(p, 42).generate(3 * kN);
+    uint64_t since_lock = 0;
+    uint64_t cold_stores_in_stretch = 0;
+    bool found = false;
+    for (size_t i = 0; i < t.size() && !found; ++i) {
+        const TraceRecord &r = t[i];
+        if (r.lockAcquire()) {
+            since_lock = 0;
+            cold_stores_in_stretch = 0;
+            continue;
+        }
+        ++since_lock;
+        if (isStoreClass(r.cls) &&
+            r.addr >= AddressMap::kPrivateStoreBase)
+            ++cold_stores_in_stretch;
+        if (since_lock > 400 && cold_stores_in_stretch > 8)
+            found = true;
+    }
+    EXPECT_TRUE(found) << "no lock-free store-flush stretch found";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, WorkloadStatsTest,
+                         testing::Range(0, 4), profileName);
+
+} // namespace
+} // namespace storemlp

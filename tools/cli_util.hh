@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal command-line parsing shared by the storemlp tools: flags of
+ * the form --key value (or --key for booleans), with typed accessors
+ * and an automatic usage dump.
+ */
+
+#ifndef STOREMLP_TOOLS_CLI_UTIL_HH
+#define STOREMLP_TOOLS_CLI_UTIL_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/workload.hh"
+
+namespace storemlp::tools
+{
+
+/** Parsed --key value arguments. */
+class Cli
+{
+  public:
+    Cli(int argc, char **argv, std::string usage)
+        : _prog(argv[0]), _usage(std::move(usage))
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0) {
+                fail("unexpected argument '" + arg + "'");
+            }
+            std::string key = arg.substr(2);
+            if (key == "help") {
+                std::cout << "usage: " << _prog << "\n" << _usage;
+                std::exit(0);
+            }
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                _args[key] = argv[++i];
+            } else {
+                _args[key] = "1"; // boolean flag
+            }
+        }
+    }
+
+    bool has(const std::string &key) const { return _args.count(key); }
+
+    std::string
+    str(const std::string &key, const std::string &def) const
+    {
+        auto it = _args.find(key);
+        return it == _args.end() ? def : it->second;
+    }
+
+    uint64_t
+    num(const std::string &key, uint64_t def) const
+    {
+        auto it = _args.find(key);
+        return it == _args.end()
+            ? def
+            : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    bool flag(const std::string &key) const { return has(key); }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        std::cerr << _prog << ": " << msg << "\nusage: " << _prog
+                  << "\n" << _usage;
+        std::exit(2);
+    }
+
+  private:
+    std::string _prog;
+    std::string _usage;
+    std::map<std::string, std::string> _args;
+};
+
+/** Resolve a workload name to a profile. */
+inline WorkloadProfile
+workloadByName(const Cli &cli, const std::string &name)
+{
+    if (name == "database")
+        return WorkloadProfile::database();
+    if (name == "tpcw")
+        return WorkloadProfile::tpcw();
+    if (name == "specjbb")
+        return WorkloadProfile::specjbb();
+    if (name == "specweb")
+        return WorkloadProfile::specweb();
+    cli.fail("unknown workload '" + name +
+             "' (database|tpcw|specjbb|specweb)");
+}
+
+} // namespace storemlp::tools
+
+#endif // STOREMLP_TOOLS_CLI_UTIL_HH

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * storemlp_sim: command-line front end for the epoch-MLP simulator.
+ * Runs one (workload, configuration) point and prints either a full
+ * report or a CSV row for scripting.
+ *
+ *   storemlp_sim --workload database --prefetch sp2 --model wc \
+ *                --sle --scout hws2 --sq 64 --measure 2000000 --csv
+ */
+
+#include <iostream>
+
+#include "cli_util.hh"
+#include "core/config_io.hh"
+#include "core/runner.hh"
+
+using namespace storemlp;
+using namespace storemlp::tools;
+
+namespace
+{
+
+const char *kUsage =
+    "  --workload database|tpcw|specjbb|specweb   (default database)\n"
+    "  --prefetch sp0|sp1|sp2                     (default sp1)\n"
+    "  --model pc|wc                              (default pc)\n"
+    "  --sle                 enable speculative lock elision\n"
+    "  --pps                 prefetch past serializing instructions\n"
+    "  --scout off|hws0|hws1|hws2                 (default off)\n"
+    "  --sq N --sb N --rob N --iw N   structure sizes\n"
+    "  --coalesce N          coalescing granularity bytes (0 = off)\n"
+    "  --perfect-stores      stores never stall (bound)\n"
+    "  --smac-entries N      enable a SMAC with N entries\n"
+    "  --chips N --peers --sibling   multiprocessor setup\n"
+    "  --moesi               MOESI coherence (default MESI)\n"
+    "  --latency N           off-chip miss penalty (default 500)\n"
+    "  --warmup N --measure N --seed N\n"
+    "  --config PATH         load SimConfig from key=value file\n"
+    "                        (flags below override file values)\n"
+    "  --profile PATH        load a custom WorkloadProfile file\n"
+    "  --csv                 one CSV row (with header)\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, kUsage);
+
+    RunSpec spec;
+    if (cli.has("profile")) {
+        try {
+            spec.profile =
+                loadWorkloadProfileFile(cli.str("profile", ""));
+        } catch (const ConfigParseError &e) {
+            cli.fail(e.what());
+        }
+    } else {
+        spec.profile =
+            workloadByName(cli, cli.str("workload", "database"));
+    }
+
+    SimConfig &cfg = spec.config;
+    if (cli.has("config")) {
+        try {
+            cfg = loadSimConfigFile(cli.str("config", ""));
+        } catch (const ConfigParseError &e) {
+            cli.fail(e.what());
+        }
+    }
+    // Flags override the config file only when explicitly given.
+    std::string sp = cli.str("prefetch", "");
+    if (cli.has("prefetch")) {
+        if (sp == "sp0")
+            cfg.storePrefetch = StorePrefetch::None;
+        else if (sp == "sp1")
+            cfg.storePrefetch = StorePrefetch::AtRetire;
+        else if (sp == "sp2")
+            cfg.storePrefetch = StorePrefetch::AtExecute;
+        else
+            cli.fail("bad --prefetch");
+    } else {
+        sp = storePrefetchName(cfg.storePrefetch);
+    }
+
+    std::string model = cli.str("model", "");
+    if (cli.has("model")) {
+        if (model == "wc")
+            cfg.memoryModel = MemoryModel::WeakConsistency;
+        else if (model == "pc")
+            cfg.memoryModel = MemoryModel::ProcessorConsistency;
+        else
+            cli.fail("bad --model");
+    } else {
+        model = memoryModelName(cfg.memoryModel);
+    }
+
+    if (cli.flag("sle"))
+        cfg.sle = true;
+    if (cli.flag("pps"))
+        cfg.prefetchPastSerializing = true;
+
+    std::string scout = cli.str("scout", "");
+    if (cli.has("scout")) {
+        if (scout == "hws0")
+            cfg.scout = ScoutMode::Hws0;
+        else if (scout == "hws1")
+            cfg.scout = ScoutMode::Hws1;
+        else if (scout == "hws2")
+            cfg.scout = ScoutMode::Hws2;
+        else if (scout == "off")
+            cfg.scout = ScoutMode::Off;
+        else
+            cli.fail("bad --scout");
+    } else {
+        scout = scoutModeName(cfg.scout);
+    }
+
+    if (cli.has("sq"))
+        cfg.storeQueueSize = static_cast<uint32_t>(cli.num("sq", 32));
+    if (cli.has("sb"))
+        cfg.storeBufferSize = static_cast<uint32_t>(cli.num("sb", 16));
+    if (cli.has("rob"))
+        cfg.robSize = static_cast<uint32_t>(cli.num("rob", 64));
+    if (cli.has("iw"))
+        cfg.issueWindowSize =
+            static_cast<uint32_t>(cli.num("iw", 32));
+    if (cli.has("coalesce"))
+        cfg.coalesceBytes =
+            static_cast<uint32_t>(cli.num("coalesce", 8));
+    if (cli.flag("perfect-stores"))
+        cfg.perfectStores = true;
+    if (cli.has("latency"))
+        cfg.missLatency =
+            static_cast<uint32_t>(cli.num("latency", 500));
+
+    if (cli.has("smac-entries")) {
+        SmacConfig smac;
+        smac.entries =
+            static_cast<uint32_t>(cli.num("smac-entries", 8192));
+        spec.smac = smac;
+    }
+    spec.numChips = static_cast<uint32_t>(cli.num("chips", 1));
+    if (cli.flag("moesi"))
+        spec.protocol = CoherenceProtocol::Moesi;
+    spec.peerTraffic = cli.flag("peers");
+    spec.siblingCore = cli.flag("sibling");
+    spec.warmupInsts = cli.num("warmup", 600 * 1000);
+    spec.measureInsts = cli.num("measure", 1000 * 1000);
+    spec.seed = cli.num("seed", 42);
+
+    RunOutput out = Runner::run(spec);
+
+    if (cli.flag("csv")) {
+        std::cout << "workload,prefetch,model,sle,scout,sq,sb,"
+                     "epochs_per_1000,mlp,store_mlp,offchip_cpi,"
+                     "overlapped_frac,miss_loads_100,miss_stores_100,"
+                     "miss_insts_100\n";
+        std::cout << spec.profile.name << "," << sp << "," << model
+                  << "," << (cfg.sle ? 1 : 0) << "," << scout << ","
+                  << cfg.storeQueueSize << "," << cfg.storeBufferSize
+                  << "," << out.sim.epochsPer1000() << ","
+                  << out.sim.mlp() << "," << out.sim.storeMlp() << ","
+                  << out.sim.offChipCpi(cfg.missLatency) << ","
+                  << out.sim.overlappedStoreFraction() << ","
+                  << out.sim.missLoadsPer100() << ","
+                  << out.sim.missStoresPer100() << ","
+                  << out.sim.missInstsPer100() << "\n";
+        return 0;
+    }
+
+    std::cout << "workload " << spec.profile.name << ", model "
+              << memoryModelName(cfg.memoryModel) << ", "
+              << storePrefetchName(cfg.storePrefetch) << ", scout "
+              << scoutModeName(cfg.scout) << (cfg.sle ? ", SLE" : "")
+              << "\n\n";
+    out.sim.print(std::cout);
+    std::cout << "off-chip CPI (" << cfg.missLatency
+              << "cy): " << out.sim.offChipCpi(cfg.missLatency) << "\n";
+    if (spec.smac) {
+        std::cout << "SMAC accelerated stores: "
+                  << out.sim.smacAcceleratedStores
+                  << ", coherence invalidates/1000: "
+                  << out.smacInvalidatesPer1000() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * storemlp_tracegen: generate a synthetic workload trace and write it
+ * in the storemlp binary trace format.
+ *
+ *   storemlp_tracegen --workload tpcw --count 5000000 \
+ *                     --seed 7 --out tpcw.trc [--wc]
+ */
+
+#include <iostream>
+
+#include "cli_util.hh"
+#include "trace/generator.hh"
+#include "trace/rewriter.hh"
+#include "trace/trace_io.hh"
+
+using namespace storemlp;
+using namespace storemlp::tools;
+
+namespace
+{
+
+const char *kUsage =
+    "  --workload database|tpcw|specjbb|specweb   (default database)\n"
+    "  --count N             instructions to generate (default 1M)\n"
+    "  --seed N              generator seed (default 42)\n"
+    "  --chip N              chip id for region placement (default 0)\n"
+    "  --wc                  emit the weak-consistency rendition\n"
+    "  --v2                  delta-compressed output format\n"
+    "  --out PATH            output file (required)\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, kUsage);
+    if (!cli.has("out"))
+        cli.fail("--out is required");
+
+    WorkloadProfile profile =
+        workloadByName(cli, cli.str("workload", "database"));
+    SyntheticTraceGenerator gen(profile, cli.num("seed", 42),
+                                static_cast<uint32_t>(
+                                    cli.num("chip", 0)));
+    Trace trace = gen.generate(cli.num("count", 1000 * 1000));
+
+    if (cli.flag("wc"))
+        trace = TraceRewriter().toWeakConsistency(trace);
+
+    try {
+        if (cli.flag("v2"))
+            writeTraceCompressedFile(cli.str("out", ""), trace);
+        else
+            writeTraceFile(cli.str("out", ""), trace);
+    } catch (const TraceFormatError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    Trace::Mix mix = trace.mix();
+    std::cout << "wrote " << trace.size() << " records ("
+              << profile.name << (cli.flag("wc") ? ", WC" : ", PC/TSO")
+              << ")\n"
+              << "  loads " << mix.loads << ", stores " << mix.stores
+              << ", branches " << mix.branches << ", atomics "
+              << mix.atomics << ", barriers " << mix.barriers << "\n";
+    return 0;
+}

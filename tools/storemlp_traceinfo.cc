@@ -1,0 +1,85 @@
+/**
+ * @file
+ * storemlp_traceinfo: inspect a binary trace file — instruction mix,
+ * detected critical sections, and an optional record dump.
+ *
+ *   storemlp_traceinfo --in trace.trc [--dump 20]
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "cli_util.hh"
+#include "trace/lock_detector.hh"
+#include "trace/trace_io.hh"
+
+using namespace storemlp;
+using namespace storemlp::tools;
+
+namespace
+{
+
+const char *kUsage =
+    "  --in PATH     trace file (required)\n"
+    "  --dump N      print the first N records\n";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv, kUsage);
+    if (!cli.has("in"))
+        cli.fail("--in is required");
+
+    Trace trace;
+    try {
+        trace = readTraceFile(cli.str("in", ""));
+    } catch (const TraceFormatError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    Trace::Mix mix = trace.mix();
+    double n = std::max<double>(1.0, static_cast<double>(mix.total));
+    std::cout << "records:  " << mix.total << "\n"
+              << std::fixed << std::setprecision(2)
+              << "loads:    " << mix.loads << " ("
+              << 100.0 * mix.loads / n << "%)\n"
+              << "stores:   " << mix.stores << " ("
+              << 100.0 * mix.stores / n << "%)\n"
+              << "branches: " << mix.branches << " ("
+              << 100.0 * mix.branches / n << "%)\n"
+              << "atomics:  " << mix.atomics << "\n"
+              << "barriers: " << mix.barriers << "\n";
+
+    LockAnalysis locks = LockDetector().analyze(trace);
+    std::cout << "critical sections: " << locks.pairs.size() << "\n";
+    if (!locks.pairs.empty()) {
+        uint64_t total_len = 0;
+        for (const auto &p : locks.pairs)
+            total_len += p.releaseIdx - p.acquireIdx;
+        std::cout << "mean critical-section length: "
+                  << static_cast<double>(total_len) /
+                         static_cast<double>(locks.pairs.size())
+                  << " instructions\n";
+    }
+
+    uint64_t dump = cli.num("dump", 0);
+    for (uint64_t i = 0; i < dump && i < trace.size(); ++i) {
+        const TraceRecord &r = trace[i];
+        std::cout << std::setw(6) << i << "  0x" << std::hex
+                  << r.pc << std::dec << "  " << std::setw(6)
+                  << instClassName(r.cls);
+        if (isMemClass(r.cls))
+            std::cout << "  addr=0x" << std::hex << r.addr << std::dec;
+        if (r.cls == InstClass::Branch)
+            std::cout << (r.taken() ? "  taken" : "  not-taken");
+        if (r.lockAcquire())
+            std::cout << "  [acquire]";
+        if (r.lockRelease())
+            std::cout << "  [release]";
+        std::cout << "\n";
+    }
+    return 0;
+}
