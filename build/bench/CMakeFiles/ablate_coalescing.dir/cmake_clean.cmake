@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_coalescing.dir/ablate_coalescing.cc.o"
+  "CMakeFiles/ablate_coalescing.dir/ablate_coalescing.cc.o.d"
+  "ablate_coalescing"
+  "ablate_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_prefetch_sizes.dir/fig2_prefetch_sizes.cc.o"
+  "CMakeFiles/fig2_prefetch_sizes.dir/fig2_prefetch_sizes.cc.o.d"
+  "fig2_prefetch_sizes"
+  "fig2_prefetch_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_prefetch_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

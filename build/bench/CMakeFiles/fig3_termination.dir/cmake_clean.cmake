@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_termination.dir/fig3_termination.cc.o"
+  "CMakeFiles/fig3_termination.dir/fig3_termination.cc.o.d"
+  "fig3_termination"
+  "fig3_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mlp_dist.dir/fig4_mlp_dist.cc.o"
+  "CMakeFiles/fig4_mlp_dist.dir/fig4_mlp_dist.cc.o.d"
+  "fig4_mlp_dist"
+  "fig4_mlp_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mlp_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_smac.dir/fig5_smac.cc.o"
+  "CMakeFiles/fig5_smac.dir/fig5_smac.cc.o.d"
+  "fig5_smac"
+  "fig5_smac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_smac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_smac_coherence.dir/fig6_smac_coherence.cc.o"
+  "CMakeFiles/fig6_smac_coherence.dir/fig6_smac_coherence.cc.o.d"
+  "fig6_smac_coherence"
+  "fig6_smac_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_smac_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_consistency.dir/fig7_consistency.cc.o"
+  "CMakeFiles/fig7_consistency.dir/fig7_consistency.cc.o.d"
+  "fig7_consistency"
+  "fig7_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_scout.dir/fig8_scout.cc.o"
+  "CMakeFiles/fig8_scout.dir/fig8_scout.cc.o.d"
+  "fig8_scout"
+  "fig8_scout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_scout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

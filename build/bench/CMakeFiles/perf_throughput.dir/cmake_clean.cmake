@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_throughput.dir/perf_throughput.cc.o"
+  "CMakeFiles/perf_throughput.dir/perf_throughput.cc.o.d"
+  "perf_throughput"
+  "perf_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

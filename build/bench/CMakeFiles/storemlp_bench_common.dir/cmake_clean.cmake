@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storemlp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/storemlp_bench_common.dir/bench_common.cc.o.d"
+  "libstoremlp_bench_common.a"
+  "libstoremlp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storemlp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_missrates.dir/table1_missrates.cc.o"
+  "CMakeFiles/table1_missrates.dir/table1_missrates.cc.o.d"
+  "table1_missrates"
+  "table1_missrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_missrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

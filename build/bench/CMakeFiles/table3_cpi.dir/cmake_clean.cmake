@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cpi.dir/table3_cpi.cc.o"
+  "CMakeFiles/table3_cpi.dir/table3_cpi.cc.o.d"
+  "table3_cpi"
+  "table3_cpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

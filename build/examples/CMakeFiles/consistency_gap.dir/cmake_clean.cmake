@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consistency_gap.dir/consistency_gap.cpp.o"
+  "CMakeFiles/consistency_gap.dir/consistency_gap.cpp.o.d"
+  "consistency_gap"
+  "consistency_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consistency_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_core_study.dir/dual_core_study.cpp.o"
+  "CMakeFiles/dual_core_study.dir/dual_core_study.cpp.o.d"
+  "dual_core_study"
+  "dual_core_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_core_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smac_sizing.dir/smac_sizing.cpp.o"
+  "CMakeFiles/smac_sizing.dir/smac_sizing.cpp.o.d"
+  "smac_sizing"
+  "smac_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smac_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_optimization_study.dir/store_optimization_study.cpp.o"
+  "CMakeFiles/store_optimization_study.dir/store_optimization_study.cpp.o.d"
+  "store_optimization_study"
+  "store_optimization_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_optimization_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

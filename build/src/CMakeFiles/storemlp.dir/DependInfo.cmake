@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/storemlp.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/CMakeFiles/storemlp.dir/cache/set_assoc_cache.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/cache/set_assoc_cache.cc.o.d"
+  "/root/repo/src/cache/tlb.cc" "src/CMakeFiles/storemlp.dir/cache/tlb.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/cache/tlb.cc.o.d"
+  "/root/repo/src/coherence/bus.cc" "src/CMakeFiles/storemlp.dir/coherence/bus.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/coherence/bus.cc.o.d"
+  "/root/repo/src/coherence/chip.cc" "src/CMakeFiles/storemlp.dir/coherence/chip.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/coherence/chip.cc.o.d"
+  "/root/repo/src/coherence/smac.cc" "src/CMakeFiles/storemlp.dir/coherence/smac.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/coherence/smac.cc.o.d"
+  "/root/repo/src/coherence/traffic.cc" "src/CMakeFiles/storemlp.dir/coherence/traffic.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/coherence/traffic.cc.o.d"
+  "/root/repo/src/consistency/memory_model.cc" "src/CMakeFiles/storemlp.dir/consistency/memory_model.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/consistency/memory_model.cc.o.d"
+  "/root/repo/src/consistency/sle.cc" "src/CMakeFiles/storemlp.dir/consistency/sle.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/consistency/sle.cc.o.d"
+  "/root/repo/src/consistency/transactional.cc" "src/CMakeFiles/storemlp.dir/consistency/transactional.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/consistency/transactional.cc.o.d"
+  "/root/repo/src/core/config_io.cc" "src/CMakeFiles/storemlp.dir/core/config_io.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/config_io.cc.o.d"
+  "/root/repo/src/core/cpi_model.cc" "src/CMakeFiles/storemlp.dir/core/cpi_model.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/cpi_model.cc.o.d"
+  "/root/repo/src/core/dual_core.cc" "src/CMakeFiles/storemlp.dir/core/dual_core.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/dual_core.cc.o.d"
+  "/root/repo/src/core/mlp_sim.cc" "src/CMakeFiles/storemlp.dir/core/mlp_sim.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/mlp_sim.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/storemlp.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/scout.cc" "src/CMakeFiles/storemlp.dir/core/scout.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/scout.cc.o.d"
+  "/root/repo/src/core/sim_config.cc" "src/CMakeFiles/storemlp.dir/core/sim_config.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/sim_config.cc.o.d"
+  "/root/repo/src/core/sim_result.cc" "src/CMakeFiles/storemlp.dir/core/sim_result.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/core/sim_result.cc.o.d"
+  "/root/repo/src/stats/counter.cc" "src/CMakeFiles/storemlp.dir/stats/counter.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/stats/counter.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/storemlp.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/storemlp.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/stats/table.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/storemlp.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/lock_detector.cc" "src/CMakeFiles/storemlp.dir/trace/lock_detector.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/trace/lock_detector.cc.o.d"
+  "/root/repo/src/trace/rewriter.cc" "src/CMakeFiles/storemlp.dir/trace/rewriter.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/trace/rewriter.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/storemlp.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/storemlp.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/workload.cc" "src/CMakeFiles/storemlp.dir/trace/workload.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/trace/workload.cc.o.d"
+  "/root/repo/src/uarch/branch_predictor.cc" "src/CMakeFiles/storemlp.dir/uarch/branch_predictor.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/uarch/branch_predictor.cc.o.d"
+  "/root/repo/src/uarch/regdep.cc" "src/CMakeFiles/storemlp.dir/uarch/regdep.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/uarch/regdep.cc.o.d"
+  "/root/repo/src/uarch/store_buffer.cc" "src/CMakeFiles/storemlp.dir/uarch/store_buffer.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/uarch/store_buffer.cc.o.d"
+  "/root/repo/src/uarch/store_queue.cc" "src/CMakeFiles/storemlp.dir/uarch/store_queue.cc.o" "gcc" "src/CMakeFiles/storemlp.dir/uarch/store_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/storemlp_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_sweep.cc" "tests/CMakeFiles/storemlp_tests.dir/test_cache_sweep.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_cache_sweep.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/storemlp_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_config_io.cc" "tests/CMakeFiles/storemlp_tests.dir/test_config_io.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_config_io.cc.o.d"
+  "/root/repo/tests/test_consistency.cc" "tests/CMakeFiles/storemlp_tests.dir/test_consistency.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_consistency.cc.o.d"
+  "/root/repo/tests/test_cpi_model.cc" "tests/CMakeFiles/storemlp_tests.dir/test_cpi_model.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_cpi_model.cc.o.d"
+  "/root/repo/tests/test_dual_core.cc" "tests/CMakeFiles/storemlp_tests.dir/test_dual_core.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_dual_core.cc.o.d"
+  "/root/repo/tests/test_engine_edges.cc" "tests/CMakeFiles/storemlp_tests.dir/test_engine_edges.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_engine_edges.cc.o.d"
+  "/root/repo/tests/test_engine_matrix.cc" "tests/CMakeFiles/storemlp_tests.dir/test_engine_matrix.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_engine_matrix.cc.o.d"
+  "/root/repo/tests/test_figure_shapes.cc" "tests/CMakeFiles/storemlp_tests.dir/test_figure_shapes.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_figure_shapes.cc.o.d"
+  "/root/repo/tests/test_generator.cc" "tests/CMakeFiles/storemlp_tests.dir/test_generator.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_generator.cc.o.d"
+  "/root/repo/tests/test_locks.cc" "tests/CMakeFiles/storemlp_tests.dir/test_locks.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_locks.cc.o.d"
+  "/root/repo/tests/test_mlp_sim.cc" "tests/CMakeFiles/storemlp_tests.dir/test_mlp_sim.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_mlp_sim.cc.o.d"
+  "/root/repo/tests/test_moesi.cc" "tests/CMakeFiles/storemlp_tests.dir/test_moesi.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_moesi.cc.o.d"
+  "/root/repo/tests/test_paper_examples.cc" "tests/CMakeFiles/storemlp_tests.dir/test_paper_examples.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_paper_examples.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/storemlp_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_replacement.cc" "tests/CMakeFiles/storemlp_tests.dir/test_replacement.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_replacement.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/storemlp_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/storemlp_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_sim_result.cc" "tests/CMakeFiles/storemlp_tests.dir/test_sim_result.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_sim_result.cc.o.d"
+  "/root/repo/tests/test_smac.cc" "tests/CMakeFiles/storemlp_tests.dir/test_smac.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_smac.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/storemlp_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/storemlp_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/storemlp_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_v2.cc" "tests/CMakeFiles/storemlp_tests.dir/test_trace_v2.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_trace_v2.cc.o.d"
+  "/root/repo/tests/test_transactional.cc" "tests/CMakeFiles/storemlp_tests.dir/test_transactional.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_transactional.cc.o.d"
+  "/root/repo/tests/test_uarch.cc" "tests/CMakeFiles/storemlp_tests.dir/test_uarch.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_uarch.cc.o.d"
+  "/root/repo/tests/test_workload_stats.cc" "tests/CMakeFiles/storemlp_tests.dir/test_workload_stats.cc.o" "gcc" "tests/CMakeFiles/storemlp_tests.dir/test_workload_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/storemlp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

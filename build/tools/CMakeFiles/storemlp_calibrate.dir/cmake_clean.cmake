@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storemlp_calibrate.dir/storemlp_calibrate.cc.o"
+  "CMakeFiles/storemlp_calibrate.dir/storemlp_calibrate.cc.o.d"
+  "storemlp_calibrate"
+  "storemlp_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storemlp_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storemlp_epochs.dir/storemlp_epochs.cc.o"
+  "CMakeFiles/storemlp_epochs.dir/storemlp_epochs.cc.o.d"
+  "storemlp_epochs"
+  "storemlp_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storemlp_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storemlp_sim.dir/storemlp_sim.cc.o"
+  "CMakeFiles/storemlp_sim.dir/storemlp_sim.cc.o.d"
+  "storemlp_sim"
+  "storemlp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storemlp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

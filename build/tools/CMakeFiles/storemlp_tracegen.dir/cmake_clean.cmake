@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storemlp_tracegen.dir/storemlp_tracegen.cc.o"
+  "CMakeFiles/storemlp_tracegen.dir/storemlp_tracegen.cc.o.d"
+  "storemlp_tracegen"
+  "storemlp_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storemlp_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storemlp_traceinfo.dir/storemlp_traceinfo.cc.o"
+  "CMakeFiles/storemlp_traceinfo.dir/storemlp_traceinfo.cc.o.d"
+  "storemlp_traceinfo"
+  "storemlp_traceinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storemlp_traceinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

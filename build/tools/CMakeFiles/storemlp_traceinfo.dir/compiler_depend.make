@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for storemlp_traceinfo.
+# This may be replaced when dependencies are built.

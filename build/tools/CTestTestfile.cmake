@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools.sim_csv "/root/repo/build/tools/storemlp_sim" "--workload" "specjbb" "--warmup" "20000" "--measure" "40000" "--csv")
+set_tests_properties(tools.sim_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.sim_help "/root/repo/build/tools/storemlp_sim" "--help")
+set_tests_properties(tools.sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.tracegen_roundtrip "sh" "-c" "/root/repo/build/tools/storemlp_tracegen --workload tpcw --count 20000        --out /root/repo/build/tools/smoke.trc --v2 &&      /root/repo/build/tools/storemlp_traceinfo --in        /root/repo/build/tools/smoke.trc --dump 3")
+set_tests_properties(tools.tracegen_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.epochs_timeline "/root/repo/build/tools/storemlp_epochs" "--workload" "tpcw" "--count" "5" "--warmup" "100000")
+set_tests_properties(tools.epochs_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.calibrate_one_iter "/root/repo/build/tools/storemlp_calibrate" "--workload" "specweb" "--knob" "loadColdProb" "--metric" "loadMiss" "--target" "0.14" "--warmup" "50000" "--measure" "50000" "--iters" "1")
+set_tests_properties(tools.calibrate_one_iter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
