@@ -20,28 +20,49 @@ main()
 {
     BenchScale scale = BenchScale::fromEnv();
 
-    for (const auto &profile : workloads()) {
-        TextTable table("Bandwidth ablation — " + profile.name);
-        table.header({"configuration", "epochs/1000",
-                      "L2 accesses/inst", "prefetches/1000"});
+    // The four configurations reported per workload.
+    const struct
+    {
+        const char *name;
+        StorePrefetch sp;
+        bool smac;
+    } points[] = {
+        {"Sp0 (baseline)", StorePrefetch::None, false},
+        {"Sp1 (prefetch at retire)", StorePrefetch::AtRetire, false},
+        {"Sp2 (prefetch at execute)", StorePrefetch::AtExecute, false},
+        {"Sp0 + SMAC 64K", StorePrefetch::None, true},
+    };
 
-        auto emit = [&](const std::string &name, StorePrefetch sp,
-                        bool smac) {
+    std::vector<RunSpec> specs;
+    for (const auto &profile : workloads()) {
+        for (const auto &pt : points) {
             RunSpec spec;
             spec.profile = profile;
             spec.config = SimConfig::defaults();
-            spec.config.storePrefetch = sp;
+            spec.config.storePrefetch = pt.sp;
             spec.numChips = 2;
             spec.peerTraffic = true;
             spec.siblingCore = true;
-            if (smac) {
+            if (pt.smac) {
                 SmacConfig cfg;
                 cfg.entries = 64 * 1024;
                 spec.smac = cfg;
             }
             spec.warmupInsts = scale.smacWarmup;
             spec.measureInsts = scale.smacMeasure;
-            RunOutput out = Runner::run(spec);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
+    for (const auto &profile : workloads()) {
+        TextTable table("Bandwidth ablation — " + profile.name);
+        table.header({"configuration", "epochs/1000",
+                      "L2 accesses/inst", "prefetches/1000"});
+
+        auto emit = [&](const std::string &name) {
+            const RunOutput &out = outs[idx++];
             table.beginRow();
             table.cell(name);
             table.cell(out.sim.epochsPer1000(), 3);
@@ -55,12 +76,8 @@ main()
                        2);
         };
 
-        emit("Sp0 (baseline)", StorePrefetch::None, false);
-        emit("Sp1 (prefetch at retire)", StorePrefetch::AtRetire,
-             false);
-        emit("Sp2 (prefetch at execute)", StorePrefetch::AtExecute,
-             false);
-        emit("Sp0 + SMAC 64K", StorePrefetch::None, true);
+        for (const auto &pt : points)
+            emit(pt.name);
 
         printTable(table);
     }

@@ -21,6 +21,23 @@ main()
     const uint32_t grans[] = {0, 8, 64};
     const uint32_t sqs[] = {16, 32, 64};
 
+    std::vector<RunSpec> specs;
+    for (const auto &profile : workloads()) {
+        for (uint32_t g : grans) {
+            for (uint32_t sq : sqs) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = SimConfig::defaults();
+                spec.config.coalesceBytes = g;
+                spec.config.storeQueueSize = sq;
+                applyScale(spec, scale);
+                specs.push_back(spec);
+            }
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
     for (const auto &profile : workloads()) {
         TextTable table("Coalescing ablation — " + profile.name +
                         " (epochs per 1000 instructions)");
@@ -32,14 +49,8 @@ main()
             table.cell(g == 0 ? std::string("off")
                               : std::to_string(g) + "B");
             uint64_t merged = 0, insts = 0;
-            for (uint32_t sq : sqs) {
-                RunSpec spec;
-                spec.profile = profile;
-                spec.config = SimConfig::defaults();
-                spec.config.coalesceBytes = g;
-                spec.config.storeQueueSize = sq;
-                applyScale(spec, scale);
-                SimResult res = Runner::run(spec).sim;
+            for (size_t q = 0; q < std::size(sqs); ++q) {
+                const SimResult &res = outs[idx++].sim;
                 table.cell(res.epochsPer1000(), 3);
                 merged = res.coalescedStores;
                 insts = res.instructions;

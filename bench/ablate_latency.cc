@@ -20,17 +20,26 @@ main()
     BenchScale scale = BenchScale::fromEnv();
     const uint32_t latencies[] = {100, 250, 500, 750, 1000};
 
+    std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
-        TextTable table("Latency ablation — " + profile.name);
-        table.header({"latency", "epochs/1000", "off-chip CPI",
-                      "overlapped stores", "MLP"});
         for (uint32_t lat : latencies) {
             RunSpec spec;
             spec.profile = profile;
             spec.config = SimConfig::defaults();
             spec.config.missLatency = lat;
             applyScale(spec, scale);
-            SimResult res = Runner::run(spec).sim;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
+    for (const auto &profile : workloads()) {
+        TextTable table("Latency ablation — " + profile.name);
+        table.header({"latency", "epochs/1000", "off-chip CPI",
+                      "overlapped stores", "MLP"});
+        for (uint32_t lat : latencies) {
+            const SimResult &res = outs[idx++].sim;
             table.beginRow();
             table.cell(static_cast<uint64_t>(lat));
             table.cell(res.epochsPer1000(), 3);

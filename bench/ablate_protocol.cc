@@ -19,12 +19,8 @@ main()
 {
     BenchScale scale = BenchScale::fromEnv();
 
+    std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
-        TextTable table("Protocol ablation — " + profile.name +
-                        " (2 chips + sibling, SMAC 64K)");
-        table.header({"protocol", "epochs/1000", "SMAC-accel stores",
-                      "SMAC coh-invalidates/1000"});
-
         for (CoherenceProtocol proto : {CoherenceProtocol::Mesi,
                                         CoherenceProtocol::Moesi}) {
             RunSpec spec;
@@ -40,8 +36,21 @@ main()
             spec.smac = smac;
             spec.warmupInsts = scale.smacWarmup;
             spec.measureInsts = scale.smacMeasure;
+            specs.push_back(spec);
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
 
-            RunOutput out = Runner::run(spec);
+    size_t idx = 0;
+    for (const auto &profile : workloads()) {
+        TextTable table("Protocol ablation — " + profile.name +
+                        " (2 chips + sibling, SMAC 64K)");
+        table.header({"protocol", "epochs/1000", "SMAC-accel stores",
+                      "SMAC coh-invalidates/1000"});
+
+        for (CoherenceProtocol proto : {CoherenceProtocol::Mesi,
+                                        CoherenceProtocol::Moesi}) {
+            const RunOutput &out = outs[idx++];
             table.beginRow();
             table.cell(std::string(
                 proto == CoherenceProtocol::Mesi ? "MESI" : "MOESI"));

@@ -39,6 +39,25 @@ applyScale(RunSpec &spec, const BenchScale &scale)
     spec.measureInsts = scale.measure;
 }
 
+SweepEngine &
+sweepEngine()
+{
+    static SweepEngine engine;
+    return engine;
+}
+
+std::vector<RunOutput>
+sweepAll(const std::vector<RunSpec> &specs)
+{
+    return sweepEngine().runOutputs(specs);
+}
+
+void
+sweepTasks(const std::vector<std::function<void()>> &tasks)
+{
+    sweepEngine().runTasks(tasks);
+}
+
 void
 printTable(const TextTable &table)
 {

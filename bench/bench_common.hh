@@ -1,19 +1,25 @@
 /**
  * @file
  * Shared helpers for the table/figure reproduction binaries. Every
- * bench prints paper-style rows via TextTable and honours two
- * environment variables so CI can scale run length:
- *   STOREMLP_WARMUP   warmup instructions  (default 300000)
+ * bench prints paper-style rows via TextTable, executes its runs
+ * through the shared SweepEngine (parallel across STOREMLP_JOBS
+ * workers, input traces deduplicated by the process-wide TraceCache),
+ * and honours environment variables so CI can scale run length:
+ *   STOREMLP_WARMUP   warmup instructions  (default 600000)
  *   STOREMLP_MEASURE  measured instructions (default 1000000)
+ *   STOREMLP_JOBS     sweep worker threads (default: hardware)
+ * See docs/EXPERIMENTS_GUIDE.md for the full knob reference.
  */
 
 #ifndef STOREMLP_BENCH_BENCH_COMMON_HH
 #define STOREMLP_BENCH_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/runner.hh"
+#include "core/sweep.hh"
 #include "stats/table.hh"
 #include "trace/workload.hh"
 
@@ -42,6 +48,20 @@ void applyScale(RunSpec &spec, const BenchScale &scale);
 
 /** Print a result table; with STOREMLP_CSV=1 also emit CSV rows. */
 void printTable(const TextTable &table);
+
+/**
+ * Run a whole batch of specs through the shared sweep engine and
+ * return outputs in submission order. Benches build their spec list
+ * with the same nested loops they later print with, so a simple
+ * index counter recovers each result.
+ */
+std::vector<RunOutput> sweepAll(const std::vector<RunSpec> &specs);
+
+/** Run independent non-RunSpec tasks on the sweep worker pool. */
+void sweepTasks(const std::vector<std::function<void()>> &tasks);
+
+/** The process-wide engine (shared trace cache, env-driven jobs). */
+SweepEngine &sweepEngine();
 
 } // namespace storemlp::bench
 

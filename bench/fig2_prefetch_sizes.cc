@@ -25,12 +25,10 @@ main()
     const uint32_t sbs[] = {8, 16, 32};
     const uint32_t sqs[] = {16, 32, 64, 256};
 
+    // Pass 1: collect every run for every workload; pass 2 consumes
+    // the results in the same nested-loop order.
+    std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
-        TextTable table("Figure 2 — " + profile.name +
-                        " (epochs per 1000 instructions)");
-        table.header({"prefetch", "sbuf", "Sq16", "Sq32", "Sq64",
-                      "Sq256", "perfect"});
-
         // The perfect-stores floor is prefetch/size independent;
         // compute it once per workload.
         RunSpec pspec;
@@ -38,13 +36,10 @@ main()
         pspec.config = SimConfig::defaults();
         pspec.config.perfectStores = true;
         applyScale(pspec, scale);
-        double perfect = Runner::run(pspec).sim.epochsPer1000();
+        specs.push_back(pspec);
 
         for (StorePrefetch sp : sps) {
             for (uint32_t sb : sbs) {
-                table.beginRow();
-                table.cell(std::string(storePrefetchName(sp)));
-                table.cell(static_cast<uint64_t>(sb));
                 for (uint32_t sq : sqs) {
                     RunSpec spec;
                     spec.profile = profile;
@@ -53,8 +48,28 @@ main()
                     spec.config.storeBufferSize = sb;
                     spec.config.storeQueueSize = sq;
                     applyScale(spec, scale);
-                    table.cell(Runner::run(spec).sim.epochsPer1000(), 3);
+                    specs.push_back(spec);
                 }
+            }
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
+    for (const auto &profile : workloads()) {
+        TextTable table("Figure 2 — " + profile.name +
+                        " (epochs per 1000 instructions)");
+        table.header({"prefetch", "sbuf", "Sq16", "Sq32", "Sq64",
+                      "Sq256", "perfect"});
+
+        double perfect = outs[idx++].sim.epochsPer1000();
+        for (StorePrefetch sp : sps) {
+            for (uint32_t sb : sbs) {
+                table.beginRow();
+                table.cell(std::string(storePrefetchName(sp)));
+                table.cell(static_cast<uint64_t>(sb));
+                for (size_t q = 0; q < std::size(sqs); ++q)
+                    table.cell(outs[idx++].sim.epochsPer1000(), 3);
                 table.cell(perfect, 3);
             }
         }

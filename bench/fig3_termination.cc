@@ -17,21 +17,11 @@ namespace
 {
 
 void
-printPanel(const char *title, const SimConfig &cfg,
-           const BenchScale &scale)
+printPanel(const char *title, const std::vector<SimResult> &results)
 {
     TextTable table(title);
     table.header({"condition", "Database", "TPC-W", "SPECjbb",
                   "SPECweb"});
-
-    std::vector<SimResult> results;
-    for (const auto &profile : workloads()) {
-        RunSpec spec;
-        spec.profile = profile;
-        spec.config = cfg;
-        applyScale(spec, scale);
-        results.push_back(Runner::run(spec).sim);
-    }
 
     for (unsigned c = 0; c < kNumTermConds; ++c) {
         table.beginRow();
@@ -57,11 +47,31 @@ main()
 {
     BenchScale scale = BenchScale::fromEnv();
 
+    // Both panels sweep together (8 runs, 4 shared traces).
+    std::vector<RunSpec> specs;
+    for (const SimConfig &cfg :
+         {SimConfig::defaults(), SimConfig::pc3()}) {
+        for (const auto &profile : workloads()) {
+            RunSpec spec;
+            spec.profile = profile;
+            spec.config = cfg;
+            applyScale(spec, scale);
+            specs.push_back(spec);
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    std::vector<SimResult> panel_a, panel_b;
+    for (size_t i = 0; i < 4; ++i)
+        panel_a.push_back(outs[i].sim);
+    for (size_t i = 4; i < 8; ++i)
+        panel_b.push_back(outs[i].sim);
+
     printPanel("Figure 3A — termination conditions, default config "
                "(fraction of epochs with store MLP >= 1)",
-               SimConfig::defaults(), scale);
+               panel_a);
     printPanel("Figure 3B — termination conditions under PC3 "
                "(SLE + prefetch past serializing)",
-               SimConfig::pc3(), scale);
+               panel_b);
     return 0;
 }

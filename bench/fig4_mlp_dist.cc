@@ -19,12 +19,19 @@ main()
 {
     BenchScale scale = BenchScale::fromEnv();
 
+    std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
         RunSpec spec;
         spec.profile = profile;
         spec.config = SimConfig::defaults();
         applyScale(spec, scale);
-        SimResult res = Runner::run(spec).sim;
+        specs.push_back(spec);
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
+    for (const auto &profile : workloads()) {
+        SimResult res = outs[idx++].sim;
 
         TextTable table("Figure 4 — " + profile.name +
                         " (fraction of epochs; rows = store MLP, "

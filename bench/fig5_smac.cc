@@ -24,6 +24,39 @@ main()
                                  StorePrefetch::AtExecute};
     const uint32_t smac_entries_k[] = {8, 16, 32, 64, 128};
 
+    // Pass 1: collect specs for every workload/prefetch/SMAC point.
+    std::vector<RunSpec> specs;
+    for (const auto &profile : workloads()) {
+        for (StorePrefetch sp : sps) {
+            auto make = [&](std::optional<SmacConfig> smac,
+                            bool perfect) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = SimConfig::defaults();
+                spec.config.storePrefetch = sp;
+                spec.config.perfectStores = perfect;
+                spec.numChips = 2;
+                spec.peerTraffic = true;
+                spec.siblingCore = true; // 2 cores/chip (Section 4.3)
+                spec.smac = smac;
+                // The SMAC covers a larger address space than the L2:
+                // warm much longer (paper Section 4.2 used 1B).
+                spec.warmupInsts = scale.smacWarmup;
+                spec.measureInsts = scale.smacMeasure;
+                return spec;
+            };
+            specs.push_back(make(std::nullopt, false));
+            for (uint32_t k : smac_entries_k) {
+                SmacConfig smac;
+                smac.entries = k * 1024;
+                specs.push_back(make(smac, false));
+            }
+            specs.push_back(make(std::nullopt, true));
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
     for (const auto &profile : workloads()) {
         TextTable table("Figure 5 — " + profile.name +
                         " SMAC (epochs per 1000 instructions)");
@@ -33,41 +66,8 @@ main()
         for (StorePrefetch sp : sps) {
             table.beginRow();
             table.cell(std::string(storePrefetchName(sp)));
-
-            auto run_with = [&](std::optional<SmacConfig> smac) {
-                RunSpec spec;
-                spec.profile = profile;
-                spec.config = SimConfig::defaults();
-                spec.config.storePrefetch = sp;
-                spec.numChips = 2;
-                spec.peerTraffic = true;
-                spec.siblingCore = true; // 2 cores/chip (Section 4.3)
-                spec.smac = smac;
-                // The SMAC covers a larger address space than the L2:
-                // warm much longer (paper Section 4.2 used 1B).
-                spec.warmupInsts = scale.smacWarmup;
-                spec.measureInsts = scale.smacMeasure;
-                return Runner::run(spec).sim.epochsPer1000();
-            };
-
-            table.cell(run_with(std::nullopt), 3);
-            for (uint32_t k : smac_entries_k) {
-                SmacConfig smac;
-                smac.entries = k * 1024;
-                table.cell(run_with(smac), 3);
-            }
-
-            RunSpec pspec;
-            pspec.profile = profile;
-            pspec.config = SimConfig::defaults();
-            pspec.config.storePrefetch = sp;
-            pspec.config.perfectStores = true;
-            pspec.numChips = 2;
-            pspec.peerTraffic = true;
-            pspec.siblingCore = true;
-            pspec.warmupInsts = scale.smacWarmup;
-            pspec.measureInsts = scale.smacMeasure;
-            table.cell(Runner::run(pspec).sim.epochsPer1000(), 3);
+            for (size_t c = 0; c < 2 + std::size(smac_entries_k); ++c)
+                table.cell(outs[idx++].sim.epochsPer1000(), 3);
         }
         printTable(table);
     }

@@ -21,6 +21,28 @@ main()
     const uint32_t smac_entries_k[] = {8, 16, 32, 64, 128};
     const uint32_t nodes[] = {2, 4};
 
+    std::vector<RunSpec> specs;
+    for (const auto &profile : workloads()) {
+        for (uint32_t n : nodes) {
+            for (uint32_t k : smac_entries_k) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = SimConfig::defaults();
+                spec.numChips = n;
+                spec.peerTraffic = true;
+                spec.siblingCore = true; // 2 cores/chip (Section 4.3)
+                SmacConfig smac;
+                smac.entries = k * 1024;
+                spec.smac = smac;
+                spec.warmupInsts = scale.smacWarmup;
+                spec.measureInsts = scale.smacMeasure;
+                specs.push_back(spec);
+            }
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
     for (const auto &profile : workloads()) {
         TextTable inv(
             "Figure 6 (left) — " + profile.name +
@@ -37,20 +59,8 @@ main()
             pct.beginRow();
             pct.cell(std::to_string(n) + "-node");
 
-            for (uint32_t k : smac_entries_k) {
-                RunSpec spec;
-                spec.profile = profile;
-                spec.config = SimConfig::defaults();
-                spec.numChips = n;
-                spec.peerTraffic = true;
-                spec.siblingCore = true; // 2 cores/chip (Section 4.3)
-                SmacConfig smac;
-                smac.entries = k * 1024;
-                spec.smac = smac;
-                spec.warmupInsts = scale.smacWarmup;
-                spec.measureInsts = scale.smacMeasure;
-
-                RunOutput out = Runner::run(spec);
+            for (size_t k = 0; k < std::size(smac_entries_k); ++k) {
+                const RunOutput &out = outs[idx++];
                 inv.cell(out.smacInvalidatesPer1000(), 3);
                 pct.cell(out.smacHitInvalidPct(), 2);
             }

@@ -29,6 +29,28 @@ main()
                                  SimConfig::wc3()};
     const char *names[] = {"PC1", "PC2", "PC3", "WC1", "WC2", "WC3"};
 
+    // 4 workloads x 3 prefetch modes x 6 configs x {total, floor} =
+    // 144 runs sharing 8 distinct traces (PC + WC rewrite per
+    // workload), all submitted as one sweep.
+    std::vector<RunSpec> specs;
+    for (const auto &profile : workloads()) {
+        for (StorePrefetch sp : sps) {
+            for (size_t c = 0; c < 6; ++c) {
+                RunSpec spec;
+                spec.profile = profile;
+                spec.config = configs[c].withPrefetch(sp);
+                applyScale(spec, scale);
+                specs.push_back(spec);
+
+                RunSpec pspec = spec;
+                pspec.config.perfectStores = true;
+                specs.push_back(pspec);
+            }
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    size_t idx = 0;
     for (const auto &profile : workloads()) {
         TextTable table("Figure 7 — " + profile.name +
                         " (epochs per 1000 instructions: total / "
@@ -37,20 +59,12 @@ main()
                       "WC3"});
 
         for (StorePrefetch sp : sps) {
+            (void)sp;
             table.beginRow();
             table.cell(std::string(storePrefetchName(sp)));
             for (size_t c = 0; c < 6; ++c) {
-                RunSpec spec;
-                spec.profile = profile;
-                spec.config = configs[c].withPrefetch(sp);
-                applyScale(spec, scale);
-                double total = Runner::run(spec).sim.epochsPer1000();
-
-                RunSpec pspec = spec;
-                pspec.config.perfectStores = true;
-                double floor =
-                    Runner::run(pspec).sim.epochsPer1000();
-
+                double total = outs[idx++].sim.epochsPer1000();
+                double floor = outs[idx++].sim.epochsPer1000();
                 table.cell(formatFixed(total, 3) + "/" +
                            formatFixed(floor, 3));
             }

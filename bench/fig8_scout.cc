@@ -21,16 +21,10 @@ main()
     const ScoutMode modes[] = {ScoutMode::Off, ScoutMode::Hws0,
                                ScoutMode::Hws1, ScoutMode::Hws2};
 
+    std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
-        TextTable table("Figure 8 — " + profile.name +
-                        " (epochs per 1000 instructions: total / "
-                        "perfect-store floor)");
-        table.header({"model", "NoHWS", "HWS0", "HWS1", "HWS2"});
-
         for (MemoryModel mm : {MemoryModel::ProcessorConsistency,
                                MemoryModel::WeakConsistency}) {
-            table.beginRow();
-            table.cell(std::string(memoryModelName(mm)));
             for (ScoutMode sm : modes) {
                 SimConfig cfg =
                     mm == MemoryModel::ProcessorConsistency
@@ -42,13 +36,30 @@ main()
                 spec.profile = profile;
                 spec.config = cfg;
                 applyScale(spec, scale);
-                double total = Runner::run(spec).sim.epochsPer1000();
+                specs.push_back(spec);
 
                 RunSpec pspec = spec;
                 pspec.config.perfectStores = true;
-                double floor =
-                    Runner::run(pspec).sim.epochsPer1000();
+                specs.push_back(pspec);
+            }
+        }
+    }
+    std::vector<RunOutput> outs = sweepAll(specs);
 
+    size_t idx = 0;
+    for (const auto &profile : workloads()) {
+        TextTable table("Figure 8 — " + profile.name +
+                        " (epochs per 1000 instructions: total / "
+                        "perfect-store floor)");
+        table.header({"model", "NoHWS", "HWS0", "HWS1", "HWS2"});
+
+        for (MemoryModel mm : {MemoryModel::ProcessorConsistency,
+                               MemoryModel::WeakConsistency}) {
+            table.beginRow();
+            table.cell(std::string(memoryModelName(mm)));
+            for (size_t m = 0; m < std::size(modes); ++m) {
+                double total = outs[idx++].sim.epochsPer1000();
+                double floor = outs[idx++].sim.epochsPer1000();
                 table.cell(formatFixed(total, 3) + "/" +
                            formatFixed(floor, 3));
             }

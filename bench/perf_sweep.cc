@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sweep-engine performance harness (google-benchmark): wall-clock of
+ * a fig7-style configuration batch at 1/2/4 worker threads, and the
+ * trace-cache effect in isolation (same batch, cache on vs off, one
+ * worker). The batch is 12 runs over 2 distinct traces (PC + WC
+ * rewrite), so the cache eliminates 10 of 12 generations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/sweep.hh"
+
+using namespace storemlp;
+
+namespace
+{
+
+std::vector<RunSpec>
+fig7StyleBatch(uint64_t warmup, uint64_t measure)
+{
+    const SimConfig configs[] = {SimConfig::defaults(),
+                                 SimConfig::pc2(),
+                                 SimConfig::pc3(),
+                                 SimConfig::wc1(),
+                                 SimConfig::wc2(),
+                                 SimConfig::wc3()};
+    std::vector<RunSpec> specs;
+    for (const SimConfig &cfg : configs) {
+        for (StorePrefetch sp :
+             {StorePrefetch::AtRetire, StorePrefetch::AtExecute}) {
+            RunSpec spec;
+            spec.profile = WorkloadProfile::database();
+            spec.config = cfg.withPrefetch(sp);
+            spec.warmupInsts = warmup;
+            spec.measureInsts = measure;
+            specs.push_back(spec);
+        }
+    }
+    return specs;
+}
+
+void
+BM_SweepJobs(benchmark::State &state)
+{
+    std::vector<RunSpec> specs = fig7StyleBatch(100000, 200000);
+    for (auto _ : state) {
+        // Fresh engine + cache per iteration: measures a cold sweep
+        // (generation + simulation), the shape of a bench binary run.
+        TraceCache cache;
+        SweepOptions opts;
+        opts.jobs = static_cast<unsigned>(state.range(0));
+        opts.progress = false;
+        SweepEngine engine(opts, &cache);
+        auto results = engine.run(specs);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void
+BM_SweepTraceCache(benchmark::State &state)
+{
+    std::vector<RunSpec> specs = fig7StyleBatch(100000, 200000);
+    bool use_cache = state.range(0) != 0;
+    for (auto _ : state) {
+        TraceCache cache;
+        SweepOptions opts;
+        opts.jobs = 1;
+        opts.useTraceCache = use_cache;
+        opts.progress = false;
+        SweepEngine engine(opts, &cache);
+        auto results = engine.run(specs);
+        benchmark::DoNotOptimize(results.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(specs.size()));
+}
+BENCHMARK(BM_SweepTraceCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

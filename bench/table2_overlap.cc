@@ -23,16 +23,20 @@ main()
 
     const double paper[] = {0.09, 0.12, 0.06, 0.22};
 
-    table.beginRow();
-    table.cell(std::string("measured"));
+    std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
         RunSpec spec;
         spec.profile = profile;
         spec.config = SimConfig::defaults();
         applyScale(spec, scale);
-        RunOutput out = Runner::run(spec);
-        table.cell(out.sim.overlappedStoreFraction(), 3);
+        specs.push_back(spec);
     }
+    std::vector<RunOutput> outs = sweepAll(specs);
+
+    table.beginRow();
+    table.cell(std::string("measured"));
+    for (const RunOutput &out : outs)
+        table.cell(out.sim.overlappedStoreFraction(), 3);
     table.beginRow();
     table.cell(std::string("paper"));
     for (double p : paper)

@@ -9,7 +9,6 @@
 
 #include "bench_common.hh"
 #include "core/cpi_model.hh"
-#include "trace/generator.hh"
 
 using namespace storemlp;
 using namespace storemlp::bench;
@@ -23,12 +22,25 @@ main()
     table.header({"component", "Database", "TPC-W", "SPECjbb",
                   "SPECweb"});
 
-    std::vector<CpiModel::Breakdown> bds;
-    for (const auto &profile : workloads()) {
-        SyntheticTraceGenerator gen(profile, 42, 0);
-        Trace trace = gen.generate(scale.warmup + scale.measure);
-        bds.push_back(CpiModel().evaluate(trace, scale.warmup));
+    // One CPI-model evaluation per workload, parallel on the sweep
+    // pool with trace generation deduplicated by the shared cache.
+    auto profiles = workloads();
+    std::vector<CpiModel::Breakdown> bds(profiles.size());
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        tasks.push_back([&, i] {
+            RunSpec key;
+            key.profile = profiles[i];
+            key.seed = 42;
+            key.warmupInsts = scale.warmup;
+            key.measureInsts = scale.measure;
+            auto trace = sweepEngine().traceCache().getOrBuild(
+                Runner::traceCacheKey(key),
+                [&] { return Runner::buildTrace(key); });
+            bds[i] = CpiModel().evaluate(*trace, scale.warmup);
+        });
     }
+    sweepTasks(tasks);
 
     auto row = [&](const std::string &name, auto get) {
         table.beginRow();

@@ -6,6 +6,7 @@
 #include "core/runner.hh"
 
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #include "coherence/bus.hh"
@@ -38,10 +39,9 @@ RunOutput::smacHitInvalidPct() const
         : 0.0;
 }
 
-RunOutput
-Runner::run(const RunSpec &spec)
+Trace
+Runner::buildTrace(const RunSpec &spec)
 {
-    // ---- build the trace ----
     SyntheticTraceGenerator gen(spec.profile, spec.seed, 0);
     Trace trace = gen.generate(spec.warmupInsts + spec.measureInsts);
 
@@ -51,12 +51,34 @@ Runner::run(const RunSpec &spec)
         TraceRewriter rewriter;
         trace = rewriter.toWeakConsistency(trace);
     }
+    return trace;
+}
 
+std::string
+Runner::traceCacheKey(const RunSpec &spec)
+{
+    std::ostringstream os;
+    os << spec.profile.cacheKey() << "|seed=" << spec.seed
+       << "|n=" << (spec.warmupInsts + spec.measureInsts) << "|wc="
+       << (spec.config.memoryModel == MemoryModel::WeakConsistency)
+       << "|chip=0";
+    return os.str();
+}
+
+RunOutput
+Runner::run(const RunSpec &spec)
+{
+    return run(spec, buildTrace(spec));
+}
+
+RunOutput
+Runner::run(const RunSpec &spec, const Trace &trace)
+{
     LockDetector detector;
     LockAnalysis locks = detector.analyze(trace);
 
     // ---- build the machine ----
-    HierarchyConfig hier_cfg;
+    HierarchyConfig hier_cfg = spec.hierarchy.value_or(HierarchyConfig{});
     SnoopBus bus;
     std::vector<std::unique_ptr<ChipNode>> chips;
     for (uint32_t c = 0; c < spec.numChips; ++c) {
@@ -159,8 +181,13 @@ Runner::measureMissRates(const WorkloadProfile &profile, uint64_t seed,
                          uint64_t warmup_insts, uint64_t measure_insts)
 {
     SyntheticTraceGenerator gen(profile, seed, 0);
-    Trace trace = gen.generate(warmup_insts + measure_insts);
+    return measureMissRates(gen.generate(warmup_insts + measure_insts),
+                            warmup_insts);
+}
 
+Runner::MissRates
+Runner::measureMissRates(const Trace &trace, uint64_t warmup_insts)
+{
     CacheHierarchy hier;
     uint64_t stores = 0;
 

@@ -13,10 +13,14 @@
 #include <cstdint>
 #include <optional>
 
+#include <string>
+
+#include "cache/hierarchy.hh"
 #include "coherence/mesi.hh"
 #include "coherence/smac.hh"
 #include "core/sim_config.hh"
 #include "core/sim_result.hh"
+#include "trace/trace.hh"
 #include "trace/workload.hh"
 
 namespace storemlp
@@ -55,6 +59,12 @@ struct RunSpec
      * warmup instructions for the same reason (Section 4.2).
      */
     bool prefillL2 = true;
+    /**
+     * Cache-geometry override. Unset means the paper's default
+     * hierarchy (32K L1I/L1D, 2MB 4-way L2); when set it applies to
+     * every chip, including the L2 prefill sizing.
+     */
+    std::optional<HierarchyConfig> hierarchy;
 };
 
 /** Results of one experiment. */
@@ -97,6 +107,30 @@ class Runner
     static RunOutput run(const RunSpec &spec);
 
     /**
+     * Run against a prebuilt trace (must be the result of
+     * `buildTrace` for an equivalent spec — i.e. already rewritten
+     * for the spec's memory model). The trace is shared immutably:
+     * concurrent runs may pass the same object, which is how the
+     * sweep engine amortizes generation across configurations.
+     */
+    static RunOutput run(const RunSpec &spec, const Trace &trace);
+
+    /**
+     * Build the input trace for a spec: generate
+     * warmupInsts + measureInsts instructions and apply the PC->WC
+     * rewrite when the spec's config uses weak consistency.
+     */
+    static Trace buildTrace(const RunSpec &spec);
+
+    /**
+     * Cache key identifying `buildTrace(spec)`'s output: everything
+     * that determines the trace bytes (profile fingerprint, seed,
+     * length, memory-model rewrite) and nothing else, so specs that
+     * differ only in machine configuration share one cached trace.
+     */
+    static std::string traceCacheKey(const RunSpec &spec);
+
+    /**
      * Cache-only measurement of the paper's Table 1 statistics: no
      * epoch engine, no prefetching — the raw miss rates of the
      * workload against the default hierarchy.
@@ -112,6 +146,10 @@ class Runner
                                       uint64_t seed,
                                       uint64_t warmup_insts,
                                       uint64_t measure_insts);
+
+    /** Same measurement over a prebuilt (shared) trace. */
+    static MissRates measureMissRates(const Trace &trace,
+                                      uint64_t warmup_insts);
 };
 
 } // namespace storemlp

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Sweep engine implementation.
+ */
+
+#include "core/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#ifdef _WIN32
+#include <io.h>
+#define STOREMLP_ISATTY(fd) _isatty(fd)
+#else
+#include <unistd.h>
+#define STOREMLP_ISATTY(fd) isatty(fd)
+#endif
+
+namespace storemlp
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+bool
+SweepOptions::progressFromEnv()
+{
+    if (const char *env = std::getenv("STOREMLP_PROGRESS"))
+        return env[0] && env[0] != '0';
+    return STOREMLP_ISATTY(2) != 0;
+}
+
+unsigned
+SweepEngine::defaultJobs()
+{
+    if (const char *env = std::getenv("STOREMLP_JOBS")) {
+        unsigned long v = std::strtoul(env, nullptr, 10);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SweepEngine::SweepEngine(SweepOptions opts, TraceCache *cache)
+    : _opts(opts), _cache(cache)
+{
+}
+
+unsigned
+SweepEngine::resolveJobs(size_t work_items) const
+{
+    unsigned jobs = _opts.jobs ? _opts.jobs : defaultJobs();
+    if (work_items < jobs)
+        jobs = static_cast<unsigned>(work_items);
+    return jobs ? jobs : 1;
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<SweepResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    unsigned jobs = resolveJobs(specs.size());
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<uint64_t> hits{0};
+    std::mutex progress_mu;
+    Clock::time_point t0 = Clock::now();
+
+    auto worker = [&]() {
+        size_t i;
+        while ((i = next.fetch_add(1)) < specs.size()) {
+            const RunSpec &spec = specs[i];
+            Clock::time_point rt0 = Clock::now();
+            bool hit = false;
+            if (_opts.useTraceCache) {
+                std::shared_ptr<const Trace> trace = _cache->getOrBuild(
+                    Runner::traceCacheKey(spec),
+                    [&spec] { return Runner::buildTrace(spec); }, &hit);
+                results[i].output = Runner::run(spec, *trace);
+            } else {
+                results[i].output = Runner::run(spec);
+            }
+            results[i].wallMs = msSince(rt0);
+            results[i].traceCacheHit = hit;
+            if (hit)
+                hits.fetch_add(1);
+            size_t d = done.fetch_add(1) + 1;
+            if (_opts.progress) {
+                std::lock_guard<std::mutex> lk(progress_mu);
+                std::fprintf(stderr,
+                             "\r[sweep] %zu/%zu runs, %llu trace-cache "
+                             "hits, %.1fs elapsed ",
+                             d, specs.size(),
+                             static_cast<unsigned long long>(
+                                 hits.load()),
+                             msSince(t0) / 1000.0);
+                std::fflush(stderr);
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (_opts.progress) {
+        std::fprintf(stderr,
+                     "\r[sweep] %zu runs done in %.1fs (%u jobs, %llu "
+                     "trace-cache hits)        \n",
+                     specs.size(), msSince(t0) / 1000.0, jobs,
+                     static_cast<unsigned long long>(hits.load()));
+        std::fflush(stderr);
+    }
+    return results;
+}
+
+std::vector<RunOutput>
+SweepEngine::runOutputs(const std::vector<RunSpec> &specs)
+{
+    std::vector<SweepResult> res = run(specs);
+    std::vector<RunOutput> outs;
+    outs.reserve(res.size());
+    for (auto &r : res)
+        outs.push_back(std::move(r.output));
+    return outs;
+}
+
+void
+SweepEngine::runTasks(const std::vector<std::function<void()>> &tasks)
+{
+    if (tasks.empty())
+        return;
+    unsigned jobs = resolveJobs(tasks.size());
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        size_t i;
+        while ((i = next.fetch_add(1)) < tasks.size())
+            tasks[i]();
+    };
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+}
+
+} // namespace storemlp

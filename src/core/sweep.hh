@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parallel sweep engine. A paper figure or table is a batch of
+ * independent `RunSpec`s — the epoch model shares no mutable state
+ * between runs, so the batch is embarrassingly parallel. The engine
+ * executes specs on a fixed pool of worker threads (a shared work
+ * queue of spec indices), routes trace construction through a shared
+ * `TraceCache` so configurations over the same workload generate the
+ * trace once, and writes results into submission-order slots so
+ * tables are deterministic regardless of scheduling.
+ *
+ * Results are bit-identical across `jobs` values: each run owns its
+ * machine state and RNG (seeded from the spec), the only shared input
+ * is an immutable trace, and result slots are index-addressed.
+ */
+
+#ifndef STOREMLP_CORE_SWEEP_HH
+#define STOREMLP_CORE_SWEEP_HH
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/runner.hh"
+#include "trace/trace_cache.hh"
+
+namespace storemlp
+{
+
+/** Knobs controlling a sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = STOREMLP_JOBS, else hardware_concurrency. */
+    unsigned jobs = 0;
+    /** Share input traces across runs via the trace cache. */
+    bool useTraceCache = true;
+    /**
+     * Emit a live progress line (runs completed / total, cache hits)
+     * to stderr. Defaults from the environment: on when stderr is a
+     * terminal, forced by STOREMLP_PROGRESS=1, silenced by =0.
+     */
+    bool progress = progressFromEnv();
+
+    static bool progressFromEnv();
+};
+
+/** One completed run: its output plus per-run observability. */
+struct SweepResult
+{
+    RunOutput output;
+    double wallMs = 0.0;        ///< wall-clock time of this run
+    bool traceCacheHit = false; ///< input trace came from the cache
+};
+
+/** Executes batches of RunSpecs on a worker pool. */
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions opts = {},
+                         TraceCache *cache = &TraceCache::global());
+
+    /**
+     * Run every spec; results come back in submission order
+     * (result[i] corresponds to specs[i]).
+     */
+    std::vector<SweepResult> run(const std::vector<RunSpec> &specs);
+
+    /** Convenience: outputs only, submission order. */
+    std::vector<RunOutput> runOutputs(const std::vector<RunSpec> &specs);
+
+    /**
+     * Run arbitrary independent tasks on the same pool (used by the
+     * cache-only and CPI-model benches, which are not RunSpec
+     * shaped). Tasks must not share mutable state.
+     */
+    void runTasks(const std::vector<std::function<void()>> &tasks);
+
+    TraceCache &traceCache() { return *_cache; }
+    const SweepOptions &options() const { return _opts; }
+
+    /** Resolved worker count: STOREMLP_JOBS else hardware_concurrency. */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned resolveJobs(size_t work_items) const;
+
+    SweepOptions _opts;
+    TraceCache *_cache;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_SWEEP_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Trace cache implementation.
+ */
+
+#include "trace/trace_cache.hh"
+
+#include <cstdlib>
+#include <utility>
+
+namespace storemlp
+{
+
+TraceCache::TraceCache(uint64_t max_bytes) : _maxBytes(max_bytes) {}
+
+uint64_t
+TraceCache::defaultMaxBytes()
+{
+    uint64_t mb = 2048;
+    if (const char *env = std::getenv("STOREMLP_TRACE_CACHE_MB")) {
+        uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            mb = v;
+    }
+    return mb * 1024 * 1024;
+}
+
+TraceCache &
+TraceCache::global()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+std::shared_ptr<const Trace>
+TraceCache::getOrBuild(const std::string &key, const Builder &build,
+                       bool *was_hit)
+{
+    std::shared_future<std::shared_ptr<const Trace>> fut;
+    std::promise<std::shared_ptr<const Trace>> promise;
+    bool builder = false;
+
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            ++_stats.hits;
+            touchLocked(it->second, key);
+            fut = it->second.future;
+        } else {
+            ++_stats.misses;
+            builder = true;
+            Entry entry;
+            entry.future = promise.get_future().share();
+            _lru.push_front(key);
+            entry.lruIt = _lru.begin();
+            fut = entry.future;
+            _entries.emplace(key, std::move(entry));
+        }
+    }
+    if (was_hit)
+        *was_hit = !builder;
+
+    if (!builder)
+        return fut.get(); // blocks while the first builder works
+
+    // Build outside the lock so other keys proceed concurrently.
+    std::shared_ptr<const Trace> trace;
+    try {
+        trace = std::make_shared<const Trace>(build());
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lk(_mu);
+        auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            _lru.erase(it->second.lruIt);
+            _entries.erase(it);
+        }
+        throw;
+    }
+    promise.set_value(trace);
+
+    std::lock_guard<std::mutex> lk(_mu);
+    auto it = _entries.find(key);
+    if (it != _entries.end()) {
+        it->second.bytes =
+            trace->size() * sizeof(TraceRecord) + key.size();
+        _stats.bytes += it->second.bytes;
+        evictLocked();
+    }
+    return trace;
+}
+
+void
+TraceCache::touchLocked(Entry &entry, const std::string &key)
+{
+    _lru.erase(entry.lruIt);
+    _lru.push_front(key);
+    entry.lruIt = _lru.begin();
+}
+
+void
+TraceCache::evictLocked()
+{
+    // Never evict the most recent entry (the one just inserted) and
+    // skip in-flight builds (bytes == 0 until the build lands).
+    while (_stats.bytes > _maxBytes && _lru.size() > 1) {
+        auto victim = std::prev(_lru.end());
+        auto it = _entries.find(*victim);
+        if (it == _entries.end() || it->second.bytes == 0)
+            break;
+        _stats.bytes -= it->second.bytes;
+        ++_stats.evictions;
+        _entries.erase(it);
+        _lru.erase(victim);
+    }
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    for (auto it = _entries.begin(); it != _entries.end();) {
+        if (it->second.bytes > 0) {
+            _stats.bytes -= it->second.bytes;
+            _lru.erase(it->second.lruIt);
+            it = _entries.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+TraceCacheStats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _stats;
+}
+
+void
+TraceCache::resetStats()
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    uint64_t bytes = _stats.bytes;
+    _stats = TraceCacheStats{};
+    _stats.bytes = bytes;
+}
+
+} // namespace storemlp

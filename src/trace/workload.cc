@@ -11,8 +11,40 @@
 
 #include "trace/workload.hh"
 
+#include <iomanip>
+#include <sstream>
+
 namespace storemlp
 {
+
+std::string
+WorkloadProfile::cacheKey() const
+{
+    // Hexfloat round-trips doubles exactly; every generator-visible
+    // knob must appear here (calibration targets and cpiOnChip do not
+    // affect the trace bytes but are cheap to include and harmless).
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << name << '|' << loadFrac << '|' << storeFrac << '|'
+       << branchFrac << '|' << loadColdProb << '|' << loadBurstCont
+       << '|' << storeColdProb << '|' << storeBurstCont << '|'
+       << coldStoresPerLine << '|' << storeSpatialRun << '|'
+       << storeRevisitFrac << '|' << flushPhaseProb << '|'
+       << flushLenMean << '|' << flushStoreFrac << '|' << flushColdProb
+       << '|' << burstPhaseProb << '|' << burstLenMean << '|'
+       << burstStoreFrac << '|' << burstColdProb << '|' << instColdProb
+       << '|' << instBurstCont << '|' << hotDataBytes << '|'
+       << hotL1Frac << '|' << hotL1Bytes << '|' << hotCodeBytes << '|'
+       << hotCodeWindowBytes << '|' << hotCodeJumpProb << '|'
+       << storeMissRegionBytes << '|' << sharedStoreFrac << '|'
+       << sharedStoreRegionBytes << '|' << sharedHotFrac << '|'
+       << sharedHotBytes << '|' << sharedLoadFrac << '|' << lockProb
+       << '|' << lockCount << '|' << csBodyLen << '|' << membarProb
+       << '|' << easyBranchFrac << '|' << branchBias << '|'
+       << staticBranches << '|' << branchDependsOnLoadProb << '|'
+       << depNearProb;
+    return os.str();
+}
 
 WorkloadProfile
 WorkloadProfile::database()

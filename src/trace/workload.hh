@@ -145,6 +145,15 @@ struct WorkloadProfile
     double targetInstMissPer100 = 0.0;
     double cpiOnChip = 1.0; ///< Table 3 on-chip CPI
 
+    /**
+     * Stable fingerprint of every generator knob, used to key the
+     * trace cache. Two profiles with equal fingerprints generate
+     * byte-identical traces for the same seed/length/chip. Must be
+     * kept in sync with the field list above (a missed field risks a
+     * stale cache hit, not a crash — test_sweep checks distinctness).
+     */
+    std::string cacheKey() const;
+
     // ---- factory functions for the paper's four workloads ----
     static WorkloadProfile database();
     static WorkloadProfile tpcw();

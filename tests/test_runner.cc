@@ -225,6 +225,34 @@ TEST(Runner, MoesiProtocolPassesThrough)
     EXPECT_GT(out.sim.epochs, 0u);
 }
 
+TEST(Runner, HierarchyOverridePlumbsThrough)
+{
+    RunSpec spec;
+    spec.profile = WorkloadProfile::testTiny();
+    spec.config = SimConfig::defaults();
+    spec.warmupInsts = 20000;
+    spec.measureInsts = 60000;
+
+    RunOutput paper = Runner::run(spec);
+
+    // A 64KB direct-mapped-ish L2 must miss far more than the paper's
+    // 2MB default on the same trace.
+    HierarchyConfig tiny;
+    tiny.l2.sizeBytes = 64 * 1024;
+    tiny.l2.assoc = 2;
+    spec.hierarchy = tiny;
+    RunOutput small = Runner::run(spec);
+
+    EXPECT_GT(small.sim.missLoads + small.sim.missStores,
+              paper.sim.missLoads + paper.sim.missStores);
+    // Unset optional reproduces the default exactly.
+    spec.hierarchy.reset();
+    RunOutput again = Runner::run(spec);
+    EXPECT_EQ(again.sim.missLoads, paper.sim.missLoads);
+    EXPECT_EQ(again.sim.missStores, paper.sim.missStores);
+    EXPECT_EQ(again.sim.epochs, paper.sim.epochs);
+}
+
 TEST(Runner, PrefillCanBeDisabled)
 {
     RunSpec spec;

@@ -31,6 +31,7 @@ const char *kUsage =
     "  --coalesce N          coalescing granularity bytes (0 = off)\n"
     "  --perfect-stores      stores never stall (bound)\n"
     "  --smac-entries N      enable a SMAC with N entries\n"
+    "  --l1-kb N --l2-kb N --l2-assoc N   cache geometry overrides\n"
     "  --chips N --peers --sibling   multiprocessor setup\n"
     "  --moesi               MOESI coherence (default MESI)\n"
     "  --latency N           off-chip miss penalty (default 500)\n"
@@ -133,6 +134,21 @@ main(int argc, char **argv)
     if (cli.has("latency"))
         cfg.missLatency =
             static_cast<uint32_t>(cli.num("latency", 500));
+
+    if (cli.has("l1-kb") || cli.has("l2-kb") || cli.has("l2-assoc")) {
+        HierarchyConfig hier;
+        if (cli.has("l1-kb")) {
+            uint64_t kb = cli.num("l1-kb", 32);
+            hier.l1i.sizeBytes = kb * 1024;
+            hier.l1d.sizeBytes = kb * 1024;
+        }
+        if (cli.has("l2-kb"))
+            hier.l2.sizeBytes = cli.num("l2-kb", 2048) * 1024;
+        if (cli.has("l2-assoc"))
+            hier.l2.assoc =
+                static_cast<uint32_t>(cli.num("l2-assoc", 4));
+        spec.hierarchy = hier;
+    }
 
     if (cli.has("smac-entries")) {
         SmacConfig smac;
