@@ -16,8 +16,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "ablate_bandwidth");
     BenchScale scale = BenchScale::fromEnv();
 
     // The four configurations reported per workload.

@@ -15,8 +15,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "ablate_coalescing");
     BenchScale scale = BenchScale::fromEnv();
     const uint32_t grans[] = {0, 8, 64};
     const uint32_t sqs[] = {16, 32, 64};

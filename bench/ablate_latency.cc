@@ -15,8 +15,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "ablate_latency");
     BenchScale scale = BenchScale::fromEnv();
     const uint32_t latencies[] = {100, 250, 500, 750, 1000};
 

@@ -15,8 +15,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "ablate_protocol");
     BenchScale scale = BenchScale::fromEnv();
 
     std::vector<RunSpec> specs;

@@ -6,10 +6,81 @@
 #include "bench_common.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <streambuf>
+
+#include "stats/stats_json.hh"
 
 namespace storemlp::bench
 {
+
+namespace
+{
+
+struct BenchIo
+{
+    std::string tool = "bench";
+    tools::OutFormat fmt = tools::OutFormat::Text;
+    std::ofstream file;
+    bool toFile = false;
+};
+
+BenchIo &
+io()
+{
+    static BenchIo b;
+    return b;
+}
+
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return c; }
+};
+
+std::ostream &
+nullStream()
+{
+    static NullBuf buf;
+    static std::ostream os(&buf);
+    return os;
+}
+
+} // namespace
+
+void
+benchInit(int argc, char **argv, const char *tool)
+{
+    io().tool = tool;
+    tools::Cli cli(argc, argv, {tools::kFormatFlag, tools::kOutFlag});
+    io().fmt = tools::outFormat(cli);
+    if (cli.has("out")) {
+        std::string path = cli.str("out", "");
+        io().file.open(path);
+        if (!io().file)
+            cli.fail("cannot open --out file '" + path + "'");
+        io().toFile = true;
+    }
+}
+
+tools::OutFormat
+benchFormat()
+{
+    return io().fmt;
+}
+
+std::ostream &
+out()
+{
+    return io().toFile ? io().file : std::cout;
+}
+
+std::ostream &
+prose()
+{
+    return io().fmt == tools::OutFormat::Text ? out() : nullStream();
+}
 
 BenchScale
 BenchScale::fromEnv()
@@ -61,12 +132,26 @@ sweepTasks(const std::vector<std::function<void()>> &tasks)
 void
 printTable(const TextTable &table)
 {
-    table.print(std::cout);
+    std::ostream &os = out();
+    switch (io().fmt) {
+      case tools::OutFormat::Json:
+        writeTableJson(os, table, {{"tool", io().tool}},
+                       /*pretty=*/false);
+        return;
+      case tools::OutFormat::Csv:
+        os << "csv:" << table.title() << "\n";
+        table.printCsv(os);
+        os << "\n";
+        return;
+      case tools::OutFormat::Text:
+        break;
+    }
+    table.print(os);
     if (const char *csv = std::getenv("STOREMLP_CSV")) {
         if (csv[0] && csv[0] != '0') {
-            std::cout << "csv:" << table.title() << "\n";
-            table.printCsv(std::cout);
-            std::cout << "\n";
+            os << "csv:" << table.title() << "\n";
+            table.printCsv(os);
+            os << "\n";
         }
     }
 }

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
+#include "cli_util.hh"
 #include "core/runner.hh"
 #include "core/sweep.hh"
 #include "stats/table.hh"
@@ -25,6 +27,26 @@
 
 namespace storemlp::bench
 {
+
+/**
+ * Parse the shared bench flags (--format, --out, --help); call first
+ * in every bench main. `tool` names the binary in JSON artifact
+ * metadata. Without this call the bench behaves as before (text to
+ * stdout).
+ */
+void benchInit(int argc, char **argv, const char *tool);
+
+/** Selected --format (Text unless benchInit saw otherwise). */
+tools::OutFormat benchFormat();
+
+/** Report destination: the --out file, else stdout. */
+std::ostream &out();
+
+/**
+ * Stream for text-mode prose between tables; discards everything in
+ * json/csv modes so structured output stays parseable.
+ */
+std::ostream &prose();
 
 /** Run-length knobs, overridable via environment. */
 struct BenchScale
@@ -46,7 +68,11 @@ std::vector<WorkloadProfile> workloads();
 /** Apply scale to a spec. */
 void applyScale(RunSpec &spec, const BenchScale &scale);
 
-/** Print a result table; with STOREMLP_CSV=1 also emit CSV rows. */
+/**
+ * Print a result table in the selected format: text (plus CSV rows
+ * with STOREMLP_CSV=1), one compact versioned JSON document
+ * (--format=json), or titled CSV (--format=csv).
+ */
 void printTable(const TextTable &table);
 
 /**

@@ -16,8 +16,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "fig2_prefetch_sizes");
     BenchScale scale = BenchScale::fromEnv();
     const StorePrefetch sps[] = {StorePrefetch::None,
                                  StorePrefetch::AtRetire,

@@ -43,8 +43,9 @@ printPanel(const char *title, const std::vector<SimResult> &results)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "fig3_termination");
     BenchScale scale = BenchScale::fromEnv();
 
     // Both panels sweep together (8 runs, 4 shared traces).

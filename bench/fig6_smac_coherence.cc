@@ -15,8 +15,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "fig6_smac_coherence");
     BenchScale scale = BenchScale::fromEnv();
     const uint32_t smac_entries_k[] = {8, 16, 32, 64, 128};
     const uint32_t nodes[] = {2, 4};

@@ -15,8 +15,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "fig7_consistency");
     BenchScale scale = BenchScale::fromEnv();
     const StorePrefetch sps[] = {StorePrefetch::None,
                                  StorePrefetch::AtRetire,

@@ -15,8 +15,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "fig8_scout");
     BenchScale scale = BenchScale::fromEnv();
     const ScoutMode modes[] = {ScoutMode::Off, ScoutMode::Hws0,
                                ScoutMode::Hws1, ScoutMode::Hws2};

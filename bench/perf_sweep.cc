@@ -7,6 +7,9 @@
  * rewrite), so the cache eliminates 10 of 12 generations.
  */
 
+#include <ostream>
+#include <streambuf>
+
 #include <benchmark/benchmark.h>
 
 #include "core/sweep.hh"
@@ -15,6 +18,18 @@ using namespace storemlp;
 
 namespace
 {
+
+/** Discards everything: isolates epoch-log record cost from disk. */
+class NullBuf : public std::streambuf
+{
+  protected:
+    int overflow(int c) override { return c; }
+    std::streamsize
+    xsputn(const char *, std::streamsize n) override
+    {
+        return n;
+    }
+};
 
 std::vector<RunSpec>
 fig7StyleBatch(uint64_t warmup, uint64_t measure)
@@ -85,6 +100,33 @@ BM_SweepTraceCache(benchmark::State &state)
                             static_cast<int64_t>(specs.size()));
 }
 BENCHMARK(BM_SweepTraceCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EpochLog(benchmark::State &state)
+{
+    // Arg(0): epoch log disabled (the null-sink branch per counted
+    // epoch). Arg(1): enabled, writing JSON lines into a discarding
+    // stream — serialization cost without disk noise.
+    RunSpec spec;
+    spec.profile = WorkloadProfile::database();
+    spec.config = SimConfig::defaults();
+    spec.warmupInsts = 100000;
+    spec.measureInsts = 200000;
+    NullBuf buf;
+    std::ostream null_os(&buf);
+    bool enabled = state.range(0) != 0;
+    if (enabled)
+        spec.epochLog = &null_os;
+    for (auto _ : state) {
+        RunOutput out = Runner::run(spec);
+        benchmark::DoNotOptimize(out.sim.epochs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochLog)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -14,8 +14,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "table1_missrates");
     BenchScale scale = BenchScale::fromEnv();
 
     TextTable table("Table 1 — store and miss rate statistics "

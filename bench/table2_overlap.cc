@@ -13,8 +13,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "table2_overlap");
     BenchScale scale = BenchScale::fromEnv();
 
     TextTable table("Table 2 — fraction of missing stores fully "

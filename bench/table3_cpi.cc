@@ -14,8 +14,9 @@ using namespace storemlp;
 using namespace storemlp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    benchInit(argc, argv, "table3_cpi");
     BenchScale scale = BenchScale::fromEnv();
 
     TextTable table("Table 3 — CPIon-chip (perfect L2)");

@@ -5,6 +5,8 @@
 
 #include "cache/hierarchy.hh"
 
+#include "stats/registry.hh"
+
 namespace storemlp
 {
 
@@ -115,6 +117,20 @@ CacheHierarchy::resetStats()
     _l1i.resetStats();
     _l1d.resetStats();
     _l2.resetStats();
+}
+
+void
+CacheHierarchy::exportStats(StatsRegistry &reg,
+                            const std::string &prefix) const
+{
+    reg.counter(prefix + "instAccesses", _instAccesses);
+    reg.counter(prefix + "instL2Misses", _instL2Misses);
+    reg.counter(prefix + "loadAccesses", _loadAccesses);
+    reg.counter(prefix + "loadL2Misses", _loadL2Misses);
+    reg.counter(prefix + "storeAccesses", _storeAccesses);
+    reg.counter(prefix + "storeL2Misses", _storeL2Misses);
+    reg.counter(prefix + "l2Accesses", _l2Accesses);
+    reg.counter(prefix + "prefetchesIssued", _prefetchesIssued);
 }
 
 } // namespace storemlp

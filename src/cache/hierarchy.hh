@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "cache/set_assoc_cache.hh"
 
 namespace storemlp
 {
+
+class StatsRegistry;
 
 /** Where an access was satisfied. */
 enum class MissLevel : uint8_t
@@ -94,6 +97,10 @@ class CacheHierarchy
     uint64_t l2Accesses() const { return _l2Accesses; }
     uint64_t prefetchesIssued() const { return _prefetchesIssued; }
     void resetStats();
+
+    /** Register all access/miss counters under `prefix`. */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix = "cache.") const;
 
   private:
     MissLevel accessL2(uint64_t addr, bool is_write);

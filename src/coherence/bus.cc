@@ -6,6 +6,7 @@
 #include "coherence/bus.hh"
 
 #include "coherence/chip.hh"
+#include "stats/registry.hh"
 
 namespace storemlp
 {
@@ -45,6 +46,17 @@ SnoopBus::request(const BusRequest &req)
     if (resp.remoteHad)
         ++_remoteHits;
     return resp;
+}
+
+void
+SnoopBus::exportStats(StatsRegistry &reg,
+                      const std::string &prefix) const
+{
+    reg.counter(prefix + "reads", _reads);
+    reg.counter(prefix + "readExclusives", _readExclusives);
+    reg.counter(prefix + "upgrades", _upgrades);
+    reg.counter(prefix + "remoteHits", _remoteHits);
+    reg.counter(prefix + "invalidations", _readExclusives + _upgrades);
 }
 
 } // namespace storemlp

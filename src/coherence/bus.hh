@@ -8,12 +8,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace storemlp
 {
 
 class ChipNode;
+class StatsRegistry;
 
 /** One bus transaction. */
 struct BusRequest
@@ -60,6 +62,14 @@ class SnoopBus
     uint64_t upgrades() const { return _upgrades; }
     uint64_t remoteHits() const { return _remoteHits; }
     void resetStats() { _reads = _readExclusives = _upgrades = _remoteHits = 0; }
+
+    /**
+     * Register transaction counters under `prefix`, including the
+     * derived `<prefix>invalidations` (RdX + Upgr — the transactions
+     * that invalidate remote copies).
+     */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix = "coherence.") const;
 
   private:
     std::vector<ChipNode *> _chips;

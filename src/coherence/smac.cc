@@ -7,6 +7,8 @@
 
 #include <cassert>
 
+#include "stats/registry.hh"
+
 namespace storemlp
 {
 
@@ -167,6 +169,17 @@ Smac::resetStats()
 {
     _installs = _probeHits = _probeMisses = 0;
     _probeHitInvalidated = _coherenceInvalidates = _tagEvictions = 0;
+}
+
+void
+Smac::exportStats(StatsRegistry &reg, const std::string &prefix) const
+{
+    reg.counter(prefix + "installs", _installs);
+    reg.counter(prefix + "probeHits", _probeHits);
+    reg.counter(prefix + "probeMisses", _probeMisses);
+    reg.counter(prefix + "probeHitInvalidated", _probeHitInvalidated);
+    reg.counter(prefix + "coherenceInvalidates", _coherenceInvalidates);
+    reg.counter(prefix + "tagEvictions", _tagEvictions);
 }
 
 } // namespace storemlp

@@ -17,10 +17,13 @@
 #define STOREMLP_COHERENCE_SMAC_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace storemlp
 {
+
+class StatsRegistry;
 
 /** SMAC geometry. */
 struct SmacConfig
@@ -101,6 +104,10 @@ class Smac
     uint64_t coherenceInvalidates() const { return _coherenceInvalidates; }
     uint64_t tagEvictions() const { return _tagEvictions; }
     void resetStats();
+
+    /** Register all SMAC counters under `prefix`. */
+    void exportStats(StatsRegistry &reg,
+                     const std::string &prefix = "smac.") const;
 
   private:
     struct Entry

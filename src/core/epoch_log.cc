@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Epoch-log JSONL formatting.
+ */
+
+#include "core/epoch_log.hh"
+
+#include <ostream>
+
+#include "core/mlp_sim.hh"
+#include "stats/stats_json.hh"
+
+namespace storemlp
+{
+
+void
+EpochLogWriter::write(const EpochRecord &rec)
+{
+    _os << "{\"epoch\":" << _count << ",\"idx\":" << rec.triggerIdx
+        << ",\"cause\":\"" << jsonEscape(termCondName(rec.cause))
+        << "\",\"missLoads\":" << rec.loads
+        << ",\"missStores\":" << rec.stores
+        << ",\"missInsts\":" << rec.insts
+        << ",\"sbOccupancy\":" << rec.sbOccupancy
+        << ",\"startCycle\":" << jsonDouble(rec.startCycle)
+        << ",\"stallCycles\":"
+        << jsonDouble(rec.resolveCycle - rec.startCycle) << "}\n";
+    ++_count;
+}
+
+} // namespace storemlp

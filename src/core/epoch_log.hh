@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Per-epoch event trace (`--epoch-log`): one JSON-lines record per
+ * *counted* epoch of the measured interval, carrying the per-epoch
+ * miss counts by kind, the window-termination condition, and the
+ * store-buffer occupancy at the stall. Operational memory-model
+ * frameworks validate against exactly this kind of per-event
+ * execution trace; here it also feeds timeline visualization.
+ *
+ * The writer is cheap enough to stay compiled in: when no sink is
+ * configured the simulator's epoch-listener branch is never taken,
+ * so the disabled cost is one predictable branch per counted epoch.
+ */
+
+#ifndef STOREMLP_CORE_EPOCH_LOG_HH
+#define STOREMLP_CORE_EPOCH_LOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace storemlp
+{
+
+struct EpochRecord;
+
+/**
+ * Streams EpochRecords as JSON lines:
+ *
+ *   {"epoch":0,"idx":612345,"cause":"StoreBufferFull","missLoads":1,
+ *    "missStores":3,"missInsts":0,"sbOccupancy":16,
+ *    "startCycle":123.5,"stallCycles":400}
+ *
+ * `epoch` is a running index within this writer's lifetime; `idx` is
+ * the trace index that triggered the stall; `stallCycles` is
+ * resolveCycle - startCycle. Lines share the run artifact's schema
+ * version via the enclosing document's metadata (each line is
+ * self-describing and versionless by design — see
+ * docs/EXPERIMENTS_GUIDE.md).
+ */
+class EpochLogWriter
+{
+  public:
+    explicit EpochLogWriter(std::ostream &os) : _os(os) {}
+
+    void write(const EpochRecord &rec);
+
+    uint64_t written() const { return _count; }
+
+  private:
+    std::ostream &_os;
+    uint64_t _count = 0;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_EPOCH_LOG_HH

@@ -194,6 +194,7 @@ MlpSimulator::terminate(const Trace &trace, TermCond cond)
             rec.loads = static_cast<uint32_t>(_gen.loads);
             rec.stores = static_cast<uint32_t>(_gen.stores);
             rec.insts = static_cast<uint32_t>(_gen.insts);
+            rec.sbOccupancy = static_cast<uint32_t>(_sb.size());
             _epochListener(rec);
         }
     }

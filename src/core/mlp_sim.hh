@@ -52,6 +52,8 @@ struct EpochRecord
     uint32_t loads = 0;
     uint32_t stores = 0;
     uint32_t insts = 0;
+    /** Store-buffer entries held when the epoch terminated. */
+    uint32_t sbOccupancy = 0;
 };
 
 class MlpSimulator

@@ -12,6 +12,7 @@
 #include "coherence/bus.hh"
 #include "coherence/chip.hh"
 #include "coherence/traffic.hh"
+#include "core/epoch_log.hh"
 #include "core/mlp_sim.hh"
 #include "trace/generator.hh"
 #include "trace/lock_detector.hh"
@@ -66,14 +67,15 @@ Runner::traceCacheKey(const RunSpec &spec)
 }
 
 RunOutput
-Runner::run(const RunSpec &spec)
+Runner::run(const RunSpec &spec, const Trace *prebuilt)
 {
-    return run(spec, buildTrace(spec));
-}
+    Trace owned;
+    if (!prebuilt) {
+        owned = buildTrace(spec);
+        prebuilt = &owned;
+    }
+    const Trace &trace = *prebuilt;
 
-RunOutput
-Runner::run(const RunSpec &spec, const Trace &trace)
-{
     LockDetector detector;
     LockAnalysis locks = detector.analyze(trace);
 
@@ -123,6 +125,13 @@ Runner::run(const RunSpec &spec, const Trace &trace)
     cfg.cpiOnChip = spec.profile.cpiOnChip;
 
     MlpSimulator sim(cfg, local, &locks);
+    std::optional<EpochLogWriter> epoch_log;
+    if (spec.epochLog) {
+        epoch_log.emplace(*spec.epochLog);
+        sim.setEpochListener([&epoch_log](const EpochRecord &rec) {
+            epoch_log->write(rec);
+        });
+    }
     if (!peers.empty()) {
         sim.setPeerHook([&peers](uint64_t delta) {
             for (auto &p : peers)
@@ -173,7 +182,35 @@ Runner::run(const RunSpec &spec, const Trace &trace)
     }
     for (auto &p : peers)
         out.peerInstructions += p->instructionsRetired();
+
+    local.hierarchy().exportStats(out.machine);
+    if (spec.numChips > 1)
+        bus.exportStats(out.machine);
+    if (const Smac *smac = local.smac())
+        smac->exportStats(out.machine);
     return out;
+}
+
+void
+RunOutput::exportStats(StatsRegistry &reg) const
+{
+    sim.exportStats(reg);
+
+    reg.scalar("run.storesPer100", storesPer100);
+    reg.scalar("run.storeMissPer100", storeMissPer100);
+    reg.scalar("run.loadMissPer100", loadMissPer100);
+    reg.scalar("run.instMissPer100", instMissPer100);
+    reg.scalar("run.tlbMissPer100", tlbMissPer100);
+    reg.counter("run.l2Accesses", l2Accesses);
+    reg.counter("run.peerInstructions", peerInstructions);
+    reg.counter("chip.storeMisses", chipStoreMisses);
+    reg.counter("chip.smacCoherenceInvalidates", smacCoherenceInvalidates);
+    reg.counter("chip.smacProbeHits", smacProbeHits);
+    reg.counter("chip.smacProbeHitInvalidated", smacProbeHitInvalidated);
+    reg.scalar("derived.smacInvalidatesPer1000", smacInvalidatesPer1000());
+    reg.scalar("derived.smacHitInvalidPct", smacHitInvalidPct());
+
+    reg.mergeFrom(machine);
 }
 
 Runner::MissRates

@@ -11,6 +11,7 @@
 #define STOREMLP_CORE_RUNNER_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 
 #include <string>
@@ -20,6 +21,7 @@
 #include "coherence/smac.hh"
 #include "core/sim_config.hh"
 #include "core/sim_result.hh"
+#include "stats/registry.hh"
 #include "trace/trace.hh"
 #include "trace/workload.hh"
 
@@ -65,6 +67,16 @@ struct RunSpec
      * every chip, including the L2 prefill sizing.
      */
     std::optional<HierarchyConfig> hierarchy;
+
+    /**
+     * Per-epoch event trace sink (`--epoch-log`). When set, one JSON
+     * line per counted epoch of the measured interval is written (see
+     * EpochLogWriter). Null keeps the epoch listener unset, so the
+     * only disabled-path cost is a branch per counted epoch. The
+     * stream is borrowed, not owned; parallel sweeps must give each
+     * spec its own stream.
+     */
+    std::ostream *epochLog = nullptr;
 };
 
 /** Results of one experiment. */
@@ -92,28 +104,42 @@ struct RunOutput
     /** Chip-level (both cores) off-chip store misses. */
     uint64_t chipStoreMisses = 0;
 
+    /**
+     * Machine-side stats registered during the run: the measured
+     * chip's hierarchy (`cache.*`), the snoop bus when chips > 1
+     * (`coherence.*`) and the SMAC when configured (`smac.*`).
+     */
+    StatsRegistry machine;
+
     /** SMAC invalidates per 1000 measured instructions. */
     double smacInvalidatesPer1000() const;
     /** % of the chip's missing stores finding a coherence-
      *  invalidated entry (Figure 6 right panel). */
     double smacHitInvalidPct() const;
+
+    /**
+     * Register the full run into `reg`: SimResult stats, run-level
+     * rates (`run.*`), chip/SMAC coherence outcomes, and everything
+     * in `machine`.
+     */
+    void exportStats(StatsRegistry &reg) const;
 };
 
 /** Orchestrates experiments. */
 class Runner
 {
   public:
-    /** Run one full epoch-model experiment. */
-    static RunOutput run(const RunSpec &spec);
-
     /**
-     * Run against a prebuilt trace (must be the result of
-     * `buildTrace` for an equivalent spec — i.e. already rewritten
-     * for the spec's memory model). The trace is shared immutably:
-     * concurrent runs may pass the same object, which is how the
-     * sweep engine amortizes generation across configurations.
+     * Run one full epoch-model experiment. With no `prebuilt` trace
+     * the spec's trace is generated on the fly; otherwise `prebuilt`
+     * must be the result of `buildTrace` for an equivalent spec —
+     * i.e. already rewritten for the spec's memory model. The trace
+     * is shared immutably: concurrent runs may pass the same object,
+     * which is how the sweep engine amortizes generation across
+     * configurations.
      */
-    static RunOutput run(const RunSpec &spec, const Trace &trace);
+    static RunOutput run(const RunSpec &spec,
+                         const Trace *prebuilt = nullptr);
 
     /**
      * Build the input trace for a spec: generate

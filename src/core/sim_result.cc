@@ -6,7 +6,9 @@
 #include "core/sim_result.hh"
 
 #include <ostream>
+#include <string>
 
+#include "stats/registry.hh"
 #include "stats/table.hh"
 
 namespace storemlp
@@ -169,13 +171,104 @@ SimResult::merge(const SimResult &other)
     branches += other.branches;
     onChipCycles += other.onChipCycles;
 
-    for (unsigned b = 0; b <= mlpHist.maxBucket(); ++b)
-        mlpHist.sample(b, other.mlpHist.bucket(b));
-    for (unsigned b = 0; b <= storeMlpHist.maxBucket(); ++b)
-        storeMlpHist.sample(b, other.storeMlpHist.bucket(b));
-    for (unsigned x = 0; x <= storeVsOtherMlp.maxX(); ++x)
-        for (unsigned y = 0; y <= storeVsOtherMlp.maxY(); ++y)
-            storeVsOtherMlp.sample(x, y, other.storeVsOtherMlp.cell(x, y));
+    mlpHist.merge(other.mlpHist);
+    storeMlpHist.merge(other.storeMlpHist);
+    storeVsOtherMlp.merge(other.storeVsOtherMlp);
+}
+
+// ---------------------------------------------------------------------
+// Structured stats registration
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Dotted stat name for each plain uint64 field. Export and import
+ *  both walk this table, which is what makes the JSON round-trip
+ *  lossless by construction. */
+struct U64Field
+{
+    const char *name;
+    uint64_t SimResult::*member;
+};
+
+constexpr U64Field kU64Fields[] = {
+    {"core.instructions", &SimResult::instructions},
+    {"core.epochs", &SimResult::epochs},
+    {"core.missLoads", &SimResult::missLoads},
+    {"core.missStores", &SimResult::missStores},
+    {"core.missInsts", &SimResult::missInsts},
+    {"core.epochMisses", &SimResult::epochMisses},
+    {"core.epochMissLoads", &SimResult::epochMissLoads},
+    {"core.epochMissStores", &SimResult::epochMissStores},
+    {"core.epochMissInsts", &SimResult::epochMissInsts},
+    {"store.overlapped", &SimResult::overlappedStores},
+    {"store.l2Accesses", &SimResult::l2StoreAccesses},
+    {"store.prefetchesIssued", &SimResult::storePrefetchesIssued},
+    {"store.coalesced", &SimResult::coalescedStores},
+    {"store.sqInserts", &SimResult::sqInserts},
+    {"smac.acceleratedStores", &SimResult::smacAcceleratedStores},
+    {"scout.entries", &SimResult::scoutEntries},
+    {"scout.prefetches", &SimResult::scoutPrefetches},
+    {"consistency.elidedLocks", &SimResult::elidedLocks},
+    {"consistency.tmAborts", &SimResult::tmAborts},
+    {"consistency.serializeStalls", &SimResult::serializeStalls},
+    {"uarch.branches", &SimResult::branches},
+    {"uarch.branchMispredicts", &SimResult::branchMispredicts},
+};
+
+std::string
+termStatName(const char *group, unsigned cond)
+{
+    return std::string(group) +
+        termCondName(static_cast<TermCond>(cond));
+}
+
+} // namespace
+
+void
+SimResult::exportStats(StatsRegistry &reg) const
+{
+    for (const U64Field &f : kU64Fields)
+        reg.counter(f.name, this->*f.member);
+    reg.scalar("core.onChipCycles", onChipCycles);
+    for (unsigned c = 0; c < kNumTermConds; ++c) {
+        reg.counter(termStatName("core.term.", c), termCounts[c]);
+        reg.counter(termStatName("core.termStore.", c),
+                    termCountsStoreEpochs[c]);
+    }
+    reg.histogram("core.mlpHist", mlpHist);
+    reg.histogram("core.storeMlpHist", storeMlpHist);
+    reg.joint("core.storeVsOtherMlp", storeVsOtherMlp);
+
+    // Derived headline metrics, for consumers that do not want to
+    // recompute ratios (ignored by fromStats).
+    reg.scalar("derived.epochsPer1000", epochsPer1000());
+    reg.scalar("derived.mlp", mlp());
+    reg.scalar("derived.storeMlp", storeMlp());
+    reg.scalar("derived.overlappedStoreFraction",
+               overlappedStoreFraction());
+    reg.scalar("derived.missLoadsPer100", missLoadsPer100());
+    reg.scalar("derived.missStoresPer100", missStoresPer100());
+    reg.scalar("derived.missInstsPer100", missInstsPer100());
+}
+
+SimResult
+SimResult::fromStats(const StatsRegistry &reg)
+{
+    SimResult r;
+    for (const U64Field &f : kU64Fields)
+        r.*f.member = reg.getCounter(f.name);
+    r.onChipCycles = reg.getScalar("core.onChipCycles");
+    for (unsigned c = 0; c < kNumTermConds; ++c) {
+        r.termCounts[c] = reg.getCounter(termStatName("core.term.", c));
+        r.termCountsStoreEpochs[c] =
+            reg.getCounter(termStatName("core.termStore.", c));
+    }
+    r.mlpHist = reg.getHistogram("core.mlpHist");
+    r.storeMlpHist = reg.getHistogram("core.storeMlpHist");
+    r.storeVsOtherMlp = reg.getJoint("core.storeVsOtherMlp");
+    return r;
 }
 
 void

@@ -20,6 +20,8 @@
 namespace storemlp
 {
 
+class StatsRegistry;
+
 /** All statistics from one measured simulation interval. */
 struct SimResult
 {
@@ -105,6 +107,21 @@ struct SimResult
 
     /** Human-readable one-config dump (examples/debugging). */
     void print(std::ostream &os) const;
+
+    /**
+     * Register every field under its dotted stat name (`core.epochs`,
+     * `store.overlapped`, `smac.acceleratedStores`, ...). The mapping
+     * is table-driven and shared with `fromStats`, so
+     * fromStats(reg after exportStats) reproduces this result exactly
+     * — the stats_json round-trip guarantee.
+     */
+    void exportStats(StatsRegistry &reg) const;
+
+    /** Rebuild a result from registered stats; throws StatsError on
+     *  missing entries. */
+    static SimResult fromStats(const StatsRegistry &reg);
+
+    bool operator==(const SimResult &) const = default;
 };
 
 } // namespace storemlp

@@ -95,7 +95,7 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
                 std::shared_ptr<const Trace> trace = _cache->getOrBuild(
                     Runner::traceCacheKey(spec),
                     [&spec] { return Runner::buildTrace(spec); }, &hit);
-                results[i].output = Runner::run(spec, *trace);
+                results[i].output = Runner::run(spec, trace.get());
             } else {
                 results[i].output = Runner::run(spec);
             }
@@ -149,6 +149,17 @@ SweepEngine::runOutputs(const std::vector<RunSpec> &specs)
     for (auto &r : res)
         outs.push_back(std::move(r.output));
     return outs;
+}
+
+void
+SweepEngine::exportStats(StatsRegistry &reg) const
+{
+    TraceCacheStats cs = _cache->stats();
+    reg.counter("sweep.traceCache.hits", cs.hits);
+    reg.counter("sweep.traceCache.misses", cs.misses);
+    reg.counter("sweep.traceCache.evictions", cs.evictions);
+    reg.counter("sweep.traceCache.bytes", cs.bytes);
+    reg.counter("sweep.jobs", _opts.jobs ? _opts.jobs : defaultJobs());
 }
 
 void

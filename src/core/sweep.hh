@@ -78,6 +78,13 @@ class SweepEngine
     TraceCache &traceCache() { return *_cache; }
     const SweepOptions &options() const { return _opts; }
 
+    /**
+     * Register engine-side observability (`sweep.traceCache.*`) into
+     * `reg` — the cache sharing that makes batch artifacts cheap is
+     * itself part of the run artifact.
+     */
+    void exportStats(StatsRegistry &reg) const;
+
     /** Resolved worker count: STOREMLP_JOBS else hardware_concurrency. */
     static unsigned defaultJobs();
 

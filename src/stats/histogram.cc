@@ -19,7 +19,13 @@ BoundedHistogram::BoundedHistogram(unsigned max_bucket)
 void
 BoundedHistogram::sample(uint64_t v, uint64_t weight)
 {
-    unsigned b = v > _maxBucket ? _maxBucket : static_cast<unsigned>(v);
+    unsigned b;
+    if (v > _maxBucket) {
+        b = _maxBucket;
+        _overflow += weight;
+    } else {
+        b = static_cast<unsigned>(v);
+    }
     _buckets[b] += weight;
     _total += weight;
     _sum += static_cast<double>(v) * static_cast<double>(weight);
@@ -31,6 +37,33 @@ BoundedHistogram::reset()
     std::fill(_buckets.begin(), _buckets.end(), 0);
     _total = 0;
     _sum = 0.0;
+    _overflow = 0;
+}
+
+void
+BoundedHistogram::merge(const BoundedHistogram &other)
+{
+    assert(_maxBucket == other._maxBucket);
+    for (unsigned b = 0; b <= _maxBucket; ++b)
+        _buckets[b] += other._buckets[b];
+    _total += other._total;
+    _sum += other._sum;
+    _overflow += other._overflow;
+}
+
+BoundedHistogram
+BoundedHistogram::fromParts(unsigned max_bucket,
+                            std::vector<uint64_t> buckets,
+                            uint64_t total, double sum,
+                            uint64_t overflow)
+{
+    assert(buckets.size() == size_t(max_bucket) + 1);
+    BoundedHistogram h(max_bucket);
+    h._buckets = std::move(buckets);
+    h._total = total;
+    h._sum = sum;
+    h._overflow = overflow;
+    return h;
 }
 
 uint64_t
@@ -98,6 +131,26 @@ JointHistogram::fraction(unsigned x, unsigned y) const
     if (_total == 0)
         return 0.0;
     return static_cast<double>(cell(x, y)) / static_cast<double>(_total);
+}
+
+void
+JointHistogram::merge(const JointHistogram &other)
+{
+    assert(_maxX == other._maxX && _maxY == other._maxY);
+    for (size_t i = 0; i < _cells.size(); ++i)
+        _cells[i] += other._cells[i];
+    _total += other._total;
+}
+
+JointHistogram
+JointHistogram::fromParts(unsigned max_x, unsigned max_y,
+                          std::vector<uint64_t> cells, uint64_t total)
+{
+    assert(cells.size() == size_t(max_x + 1) * (max_y + 1));
+    JointHistogram j(max_x, max_y);
+    j._cells = std::move(cells);
+    j._total = total;
+    return j;
 }
 
 } // namespace storemlp

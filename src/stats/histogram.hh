@@ -16,7 +16,9 @@ namespace storemlp
 /**
  * A histogram over the integers [0, maxBucket]; samples above maxBucket
  * are clamped into the final (">=") bucket, matching the paper's
- * ">=5" / ">=10" presentation.
+ * ">=5" / ">=10" presentation. Clamped samples are additionally
+ * tallied in an explicit overflow count so the fold is visible
+ * (`overflow()`), not silent.
  */
 class BoundedHistogram
 {
@@ -35,12 +37,27 @@ class BoundedHistogram
     double mean() const;
     /** Fraction of samples in bucket b. */
     double fraction(unsigned b) const;
+    /** Samples strictly above maxBucket, folded into the top bin. */
+    uint64_t overflow() const { return _overflow; }
+
+    /** Exact bucket-wise accumulation (multi-segment merging). The
+     *  geometries must match. */
+    void merge(const BoundedHistogram &other);
+
+    /** Rebuild from serialized parts (stats_json round-trip). */
+    static BoundedHistogram fromParts(unsigned max_bucket,
+                                      std::vector<uint64_t> buckets,
+                                      uint64_t total, double sum,
+                                      uint64_t overflow);
+
+    bool operator==(const BoundedHistogram &) const = default;
 
   private:
     unsigned _maxBucket;
     std::vector<uint64_t> _buckets;
     uint64_t _total = 0;
     double _sum = 0.0;
+    uint64_t _overflow = 0;
 };
 
 /**
@@ -63,6 +80,16 @@ class JointHistogram
     unsigned maxX() const { return _maxX; }
     unsigned maxY() const { return _maxY; }
     double fraction(unsigned x, unsigned y) const;
+
+    /** Exact cell-wise accumulation; the geometries must match. */
+    void merge(const JointHistogram &other);
+
+    /** Rebuild from serialized parts (stats_json round-trip). */
+    static JointHistogram fromParts(unsigned max_x, unsigned max_y,
+                                    std::vector<uint64_t> cells,
+                                    uint64_t total);
+
+    bool operator==(const JointHistogram &) const = default;
 
   private:
     unsigned _maxX;

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * StatsRegistry implementation.
+ */
+
+#include "stats/registry.hh"
+
+#include <cmath>
+
+namespace storemlp
+{
+
+const char *
+statKindName(StatKind k)
+{
+    switch (k) {
+      case StatKind::Counter: return "counter";
+      case StatKind::Scalar: return "scalar";
+      case StatKind::Text: return "text";
+      case StatKind::Histogram: return "histogram";
+      case StatKind::Joint: return "joint";
+      default: return "?";
+    }
+}
+
+StatEntry &
+StatsRegistry::upsert(const std::string &name, StatKind kind)
+{
+    auto it = _index.find(name);
+    if (it == _index.end()) {
+        _index.emplace(name, _entries.size());
+        _entries.emplace_back();
+        _entries.back().name = name;
+        _entries.back().kind = kind;
+        return _entries.back();
+    }
+    StatEntry &e = _entries[it->second];
+    e = StatEntry{};
+    e.name = name;
+    e.kind = kind;
+    return e;
+}
+
+const StatEntry &
+StatsRegistry::lookup(const std::string &name) const
+{
+    auto it = _index.find(name);
+    if (it == _index.end())
+        throw StatsError("no stat named '" + name + "'");
+    return _entries[it->second];
+}
+
+void
+StatsRegistry::counter(const std::string &name, uint64_t v)
+{
+    upsert(name, StatKind::Counter).u64 = v;
+}
+
+void
+StatsRegistry::scalar(const std::string &name, double v)
+{
+    upsert(name, StatKind::Scalar).scalar = v;
+}
+
+void
+StatsRegistry::text(const std::string &name, std::string v)
+{
+    upsert(name, StatKind::Text).text = std::move(v);
+}
+
+void
+StatsRegistry::histogram(const std::string &name, BoundedHistogram h)
+{
+    upsert(name, StatKind::Histogram).hist = std::move(h);
+}
+
+void
+StatsRegistry::joint(const std::string &name, JointHistogram j)
+{
+    upsert(name, StatKind::Joint).joint = std::move(j);
+}
+
+bool
+StatsRegistry::has(const std::string &name) const
+{
+    return _index.count(name) != 0;
+}
+
+StatKind
+StatsRegistry::kindOf(const std::string &name) const
+{
+    return lookup(name).kind;
+}
+
+uint64_t
+StatsRegistry::getCounter(const std::string &name) const
+{
+    const StatEntry &e = lookup(name);
+    if (e.kind == StatKind::Counter)
+        return e.u64;
+    if (e.kind == StatKind::Scalar && e.scalar >= 0.0 &&
+        std::nearbyint(e.scalar) == e.scalar)
+        return static_cast<uint64_t>(e.scalar);
+    throw StatsError("stat '" + name + "' is a " +
+                     statKindName(e.kind) + ", not a counter");
+}
+
+double
+StatsRegistry::getScalar(const std::string &name) const
+{
+    const StatEntry &e = lookup(name);
+    if (e.kind == StatKind::Scalar)
+        return e.scalar;
+    if (e.kind == StatKind::Counter)
+        return static_cast<double>(e.u64);
+    throw StatsError("stat '" + name + "' is a " +
+                     statKindName(e.kind) + ", not a scalar");
+}
+
+const std::string &
+StatsRegistry::getText(const std::string &name) const
+{
+    const StatEntry &e = lookup(name);
+    if (e.kind != StatKind::Text)
+        throw StatsError("stat '" + name + "' is a " +
+                         statKindName(e.kind) + ", not text");
+    return e.text;
+}
+
+const BoundedHistogram &
+StatsRegistry::getHistogram(const std::string &name) const
+{
+    const StatEntry &e = lookup(name);
+    if (e.kind != StatKind::Histogram)
+        throw StatsError("stat '" + name + "' is a " +
+                         statKindName(e.kind) + ", not a histogram");
+    return e.hist;
+}
+
+const JointHistogram &
+StatsRegistry::getJoint(const std::string &name) const
+{
+    const StatEntry &e = lookup(name);
+    if (e.kind != StatKind::Joint)
+        throw StatsError("stat '" + name + "' is a " +
+                         statKindName(e.kind) + ", not a joint histogram");
+    return e.joint;
+}
+
+void
+StatsRegistry::clear()
+{
+    _entries.clear();
+    _index.clear();
+}
+
+void
+StatsRegistry::mergeFrom(const StatsRegistry &other)
+{
+    for (const StatEntry &e : other._entries) {
+        switch (e.kind) {
+          case StatKind::Counter: counter(e.name, e.u64); break;
+          case StatKind::Scalar: scalar(e.name, e.scalar); break;
+          case StatKind::Text: text(e.name, e.text); break;
+          case StatKind::Histogram: histogram(e.name, e.hist); break;
+          case StatKind::Joint: joint(e.name, e.joint); break;
+        }
+    }
+}
+
+} // namespace storemlp

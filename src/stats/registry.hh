@@ -1,0 +1,117 @@
+/**
+ * @file
+ * StatsRegistry: the structured results surface of the simulator.
+ * Every producer (SimResult, CacheHierarchy, SnoopBus, Smac, the
+ * sweep engine) registers named entries under hierarchical dotted
+ * names — `core.epochs`, `smac.acceleratedStores`,
+ * `coherence.invalidations` — instead of being formatted by hand in
+ * each tool. A registry is a flat, insertion-ordered list of typed
+ * entries; the JSON/CSV emitters in stats_json.* serialize it with
+ * stable key order, and the parsers rebuild it losslessly.
+ */
+
+#ifndef STOREMLP_STATS_REGISTRY_HH
+#define STOREMLP_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/histogram.hh"
+
+namespace storemlp
+{
+
+/** Error raised on missing entries or kind mismatches. */
+class StatsError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** What an entry holds. */
+enum class StatKind : uint8_t
+{
+    Counter,   ///< unsigned event count
+    Scalar,    ///< derived floating-point metric
+    Text,      ///< descriptive string (workload name, config name)
+    Histogram, ///< BoundedHistogram (buckets + overflow + sum)
+    Joint,     ///< JointHistogram (2-D cells)
+};
+
+const char *statKindName(StatKind k);
+
+/** One named statistic. */
+struct StatEntry
+{
+    std::string name;
+    StatKind kind = StatKind::Counter;
+
+    uint64_t u64 = 0;     ///< Counter
+    double scalar = 0.0;  ///< Scalar
+    std::string text;     ///< Text
+    BoundedHistogram hist{0}; ///< Histogram
+    JointHistogram joint{0, 0}; ///< Joint
+
+    bool operator==(const StatEntry &) const = default;
+};
+
+/**
+ * Insertion-ordered set of named stats. Setting an existing name
+ * overwrites it in place (the original position is kept), so emitted
+ * key order is deterministic for a given registration sequence.
+ */
+class StatsRegistry
+{
+  public:
+    // ---- registration ----
+    void counter(const std::string &name, uint64_t v);
+    void scalar(const std::string &name, double v);
+    void text(const std::string &name, std::string v);
+    void histogram(const std::string &name, BoundedHistogram h);
+    void joint(const std::string &name, JointHistogram j);
+
+    // ---- lookup ----
+    bool has(const std::string &name) const;
+    /** Kind of an entry; throws StatsError if absent. */
+    StatKind kindOf(const std::string &name) const;
+
+    /**
+     * Typed getters. Counter/Scalar interconvert when the value is
+     * representable (a JSON number with no fractional part parses
+     * back as a Counter even if it was registered as a Scalar); all
+     * other mismatches throw StatsError naming the entry.
+     */
+    uint64_t getCounter(const std::string &name) const;
+    double getScalar(const std::string &name) const;
+    const std::string &getText(const std::string &name) const;
+    const BoundedHistogram &getHistogram(const std::string &name) const;
+    const JointHistogram &getJoint(const std::string &name) const;
+
+    // ---- iteration / bulk ----
+    const std::vector<StatEntry> &entries() const { return _entries; }
+    size_t size() const { return _entries.size(); }
+    bool empty() const { return _entries.empty(); }
+    void clear();
+
+    /** Append every entry of `other` (overwriting same-named ones). */
+    void mergeFrom(const StatsRegistry &other);
+
+    bool operator==(const StatsRegistry &other) const
+    {
+        return _entries == other._entries;
+    }
+
+  private:
+    StatEntry &upsert(const std::string &name, StatKind kind);
+    const StatEntry &lookup(const std::string &name) const;
+
+    std::vector<StatEntry> _entries;
+    std::unordered_map<std::string, size_t> _index;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_STATS_REGISTRY_HH

@@ -60,6 +60,20 @@ TextTable::at(size_t row, size_t col) const
     return _rows[row][col];
 }
 
+const std::string &
+TextTable::headerAt(size_t col) const
+{
+    assert(col < _header.size());
+    return _header[col];
+}
+
+size_t
+TextTable::rowWidth(size_t row) const
+{
+    assert(row < _rows.size());
+    return _rows[row].size();
+}
+
 void
 TextTable::print(std::ostream &os) const
 {

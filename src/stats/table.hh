@@ -47,8 +47,12 @@ class TextTable
     size_t columns() const { return _header.size(); }
     const std::string &title() const { return _title; }
 
-    /** Access a cell for programmatic checks (tests). */
+    /** Access a cell for programmatic checks (tests, JSON export). */
     const std::string &at(size_t row, size_t col) const;
+    /** Header label of column c. */
+    const std::string &headerAt(size_t col) const;
+    /** Number of cells actually present in row r. */
+    size_t rowWidth(size_t row) const;
 
   private:
     std::string _title;

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Structured-results API tests: StatsRegistry semantics, the
+ * BoundedHistogram overflow bucket, and the versioned JSON/CSV run
+ * artifacts. The load-bearing property is lossless round-trip — a
+ * fully-populated SimResult exported to a registry, serialized to
+ * JSON, parsed back and rebuilt must compare equal field-for-field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/sim_result.hh"
+#include "stats/histogram.hh"
+#include "stats/registry.hh"
+#include "stats/stats_json.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------------
+
+TEST(StatsRegistry, InsertionOrderIsPreserved)
+{
+    StatsRegistry reg;
+    reg.counter("z.last", 1);
+    reg.scalar("a.first", 2.0);
+    reg.text("m.middle", "hello");
+
+    ASSERT_EQ(reg.size(), 3u);
+    EXPECT_EQ(reg.entries()[0].name, "z.last");
+    EXPECT_EQ(reg.entries()[1].name, "a.first");
+    EXPECT_EQ(reg.entries()[2].name, "m.middle");
+}
+
+TEST(StatsRegistry, UpsertKeepsOriginalPosition)
+{
+    StatsRegistry reg;
+    reg.counter("one", 1);
+    reg.counter("two", 2);
+    reg.counter("one", 11); // overwrite: must stay at index 0
+
+    ASSERT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.entries()[0].name, "one");
+    EXPECT_EQ(reg.getCounter("one"), 11u);
+}
+
+TEST(StatsRegistry, TypedGettersThrowOnMismatch)
+{
+    StatsRegistry reg;
+    reg.text("meta.workload", "database");
+    reg.counter("core.epochs", 42);
+
+    EXPECT_THROW(reg.getCounter("meta.workload"), StatsError);
+    EXPECT_THROW(reg.getHistogram("core.epochs"), StatsError);
+    EXPECT_THROW(reg.getText("absent"), StatsError);
+    EXPECT_FALSE(reg.has("absent"));
+    EXPECT_EQ(reg.kindOf("meta.workload"), StatKind::Text);
+}
+
+TEST(StatsRegistry, CounterAndScalarInterconvert)
+{
+    StatsRegistry reg;
+    reg.counter("n", 7);
+    reg.scalar("whole", 3.0);
+    reg.scalar("frac", 3.5);
+
+    EXPECT_DOUBLE_EQ(reg.getScalar("n"), 7.0);
+    EXPECT_EQ(reg.getCounter("whole"), 3u);
+    EXPECT_THROW(reg.getCounter("frac"), StatsError);
+}
+
+TEST(StatsRegistry, MergeFromOverwritesAndAppends)
+{
+    StatsRegistry a;
+    a.counter("shared", 1);
+    a.counter("only.a", 2);
+
+    StatsRegistry b;
+    b.counter("shared", 10);
+    b.counter("only.b", 20);
+
+    a.mergeFrom(b);
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_EQ(a.entries()[0].name, "shared"); // position kept
+    EXPECT_EQ(a.getCounter("shared"), 10u);   // value overwritten
+    EXPECT_EQ(a.getCounter("only.b"), 20u);
+}
+
+// ---------------------------------------------------------------------
+// BoundedHistogram overflow bucket
+// ---------------------------------------------------------------------
+
+TEST(BoundedHistogram, OverflowIsCountedNotSilent)
+{
+    BoundedHistogram h(10);
+    h.sample(3);
+    h.sample(10);
+    h.sample(11);     // clamped into bucket 10, counted as overflow
+    h.sample(37, 2);  // weighted overflow
+
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(10), 4u); // 10 + 11 + 37x2 all land here
+    EXPECT_EQ(h.overflow(), 3u); // only the >10 samples
+    EXPECT_EQ(h.total(), 5u);
+    // The sum keeps the unclamped values so means stay honest.
+    EXPECT_DOUBLE_EQ(h.sum(), 3 + 10 + 11 + 37 * 2.0);
+}
+
+TEST(BoundedHistogram, MergeAndFromPartsAreExact)
+{
+    BoundedHistogram a(10), b(10);
+    a.sample(1);
+    a.sample(25);
+    b.sample(25);
+    b.sample(9, 4);
+
+    BoundedHistogram merged(10);
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.total(), a.total() + b.total());
+    EXPECT_EQ(merged.overflow(), a.overflow() + b.overflow());
+    EXPECT_DOUBLE_EQ(merged.sum(), a.sum() + b.sum());
+
+    std::vector<uint64_t> buckets;
+    for (unsigned i = 0; i <= merged.maxBucket(); ++i)
+        buckets.push_back(merged.bucket(i));
+    BoundedHistogram rebuilt = BoundedHistogram::fromParts(
+        merged.maxBucket(), buckets, merged.total(), merged.sum(),
+        merged.overflow());
+    EXPECT_EQ(rebuilt, merged);
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------
+
+/** A SimResult with every field set to a distinct nonzero value. */
+SimResult
+fullyPopulatedResult()
+{
+    SimResult r;
+    r.instructions = 1000001;
+    r.epochs = 4242;
+    r.missLoads = 311;
+    r.missStores = 207;
+    r.missInsts = 53;
+    r.epochMisses = 499;
+    r.epochMissLoads = 288;
+    r.epochMissStores = 181;
+    r.epochMissInsts = 30;
+    r.overlappedStores = 26;
+    r.smacAcceleratedStores = 17;
+    r.l2StoreAccesses = 90210;
+    r.storePrefetchesIssued = 612;
+    r.coalescedStores = 77;
+    r.sqInserts = 8181;
+    r.scoutEntries = 5;
+    r.scoutPrefetches = 44;
+    r.elidedLocks = 13;
+    r.tmAborts = 2;
+    r.serializeStalls = 101;
+    r.branchMispredicts = 909;
+    r.branches = 123456;
+    r.onChipCycles = 987654.125;
+
+    for (size_t i = 0; i < kNumTermConds; ++i) {
+        r.termCounts[i] = 100 + 7 * i;
+        r.termCountsStoreEpochs[i] = 50 + 3 * i;
+    }
+
+    r.mlpHist.sample(1, 2000);
+    r.mlpHist.sample(4, 600);
+    r.mlpHist.sample(23, 9); // exercise the overflow bucket
+    r.storeMlpHist.sample(1, 1500);
+    r.storeMlpHist.sample(10, 40);
+    r.storeMlpHist.sample(12, 3);
+    r.storeVsOtherMlp.sample(1, 0, 1200);
+    r.storeVsOtherMlp.sample(3, 2, 310);
+    r.storeVsOtherMlp.sample(15, 9, 6); // clamps on both axes
+    return r;
+}
+
+TEST(StatsJson, SimResultRoundTripIsLossless)
+{
+    SimResult original = fullyPopulatedResult();
+
+    StatsRegistry reg;
+    original.exportStats(reg);
+    std::string doc = statsToJson(reg, {{"tool", "test"}});
+
+    StatsMeta meta;
+    StatsRegistry parsed = statsFromJson(doc, &meta);
+    SimResult rebuilt = SimResult::fromStats(parsed);
+
+    EXPECT_EQ(rebuilt, original);
+    ASSERT_EQ(meta.size(), 1u);
+    EXPECT_EQ(meta[0].first, "tool");
+    EXPECT_EQ(meta[0].second, "test");
+}
+
+TEST(StatsJson, RegistryRoundTripKeepsOrderAndKinds)
+{
+    StatsRegistry reg;
+    reg.counter("big", 0xFFFFFFFFFFFFFFFFull); // needs full u64 range
+    reg.scalar("tiny", 1e-17);
+    reg.scalar("tenth", 0.1); // not exactly representable
+    reg.text("name", "SQ+StoreBufferFull, \"quoted\"");
+    BoundedHistogram h(4);
+    h.sample(2, 3);
+    h.sample(99);
+    reg.histogram("hist", h);
+    JointHistogram j(2, 1);
+    j.sample(0, 1, 5);
+    j.sample(7, 7, 2);
+    reg.joint("joint", j);
+
+    StatsRegistry back =
+        statsFromJson(statsToJson(reg, {}, /*pretty=*/false));
+    EXPECT_EQ(back, reg);
+    // Compact and pretty emissions must parse identically.
+    EXPECT_EQ(statsFromJson(statsToJson(reg)), reg);
+}
+
+TEST(StatsJson, SchemaVersionMismatchIsRejected)
+{
+    std::string doc =
+        "{\"schemaVersion\": 99, \"meta\": {}, \"stats\": {}}";
+    try {
+        statsFromJson(doc);
+        FAIL() << "expected StatsJsonError";
+    } catch (const StatsJsonError &e) {
+        // The error must name the version so the user can tell a
+        // stale artifact from a corrupt one.
+        EXPECT_NE(std::string(e.what()).find("99"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("schemaVersion"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(StatsJson, MalformedDocumentsAreRejected)
+{
+    EXPECT_THROW(statsFromJson("not json"), StatsJsonError);
+    EXPECT_THROW(statsFromJson("{\"meta\": {}, \"stats\": {}}"),
+                 StatsJsonError); // missing schemaVersion
+    EXPECT_THROW(statsFromJson("{\"schemaVersion\": 1}"),
+                 StatsJsonError); // missing stats
+}
+
+// ---------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------
+
+/** Count top-level CSV fields (commas inside quotes don't split). */
+size_t
+csvFieldCount(const std::string &line)
+{
+    size_t fields = 1;
+    bool quoted = false;
+    for (char c : line) {
+        if (c == '"')
+            quoted = !quoted;
+        else if (c == ',' && !quoted)
+            ++fields;
+    }
+    return fields;
+}
+
+TEST(StatsCsv, ColumnCountMatchesHeader)
+{
+    SimResult res = fullyPopulatedResult();
+    StatsRegistry reg;
+    res.exportStats(reg);
+    reg.text("note", "has,comma"); // forces quoting on the value row
+
+    std::string csv =
+        statsToCsv(reg, {{"tool", "test"}, {"workload", "database"}});
+    std::istringstream is(csv);
+    std::string header, values, extra;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, values));
+    EXPECT_FALSE(std::getline(is, extra)) << "expected two lines";
+
+    EXPECT_EQ(csvFieldCount(header), csvFieldCount(values));
+    // Meta pairs lead the row; histograms expand per-bucket.
+    EXPECT_EQ(header.rfind("tool,workload,", 0), 0u) << header;
+    EXPECT_NE(header.find("core.mlpHist.overflow"), std::string::npos);
+    EXPECT_NE(header.find("core.storeVsOtherMlp.x0y0"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace storemlp

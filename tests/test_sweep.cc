@@ -298,7 +298,7 @@ TEST(Runner, TraceOverloadMatchesSelfBuiltTrace)
 
     RunOutput a = Runner::run(spec);
     Trace trace = Runner::buildTrace(spec);
-    RunOutput b = Runner::run(spec, trace);
+    RunOutput b = Runner::run(spec, &trace);
     expectIdentical(a, b);
 }
 

@@ -1,8 +1,14 @@
 /**
  * @file
- * Minimal command-line parsing shared by the storemlp tools: flags of
- * the form --key value (or --key for booleans), with typed accessors
- * and an automatic usage dump.
+ * Declarative command-line parsing shared by the storemlp tools.
+ *
+ * Each tool declares its flags as a table of FlagSpec entries; the
+ * parser validates against the table (unknown flags are rejected),
+ * accepts both `--key value` and `--key=value`, and generates the
+ * usage text from the table so help stays in sync with what is
+ * actually parsed. Flags common to several tools (`--jobs`, `--seed`,
+ * `--format`, `--out`, run lengths) are shared constants so spelling
+ * and help text are identical everywhere.
  */
 
 #ifndef STOREMLP_TOOLS_CLI_UTIL_HH
@@ -10,6 +16,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -20,28 +27,69 @@
 namespace storemlp::tools
 {
 
-/** Parsed --key value arguments. */
+/**
+ * One command-line flag. `arg` is the value placeholder shown in the
+ * usage text; an empty `arg` makes the flag boolean. Help text may
+ * contain newlines; continuation lines are indented under the help
+ * column.
+ */
+struct FlagSpec
+{
+    std::string key;  ///< without the leading "--"
+    std::string arg;  ///< value placeholder; empty = boolean flag
+    std::string help; ///< one-line description
+};
+
+// ---- flags shared across tools (identical spelling + help) ----
+inline const FlagSpec kSeedFlag{"seed", "N", "RNG seed (default 42)"};
+inline const FlagSpec kJobsFlag{
+    "jobs", "N",
+    "worker threads (default: STOREMLP_JOBS, else hardware "
+    "concurrency)"};
+inline const FlagSpec kFormatFlag{
+    "format", "text|json|csv", "output format (default text)"};
+inline const FlagSpec kOutFlag{
+    "out", "PATH", "write output to PATH instead of stdout"};
+inline const FlagSpec kWarmupFlag{
+    "warmup", "N", "warmup instructions (default 600000)"};
+inline const FlagSpec kMeasureFlag{
+    "measure", "N", "measured instructions (default 1000000)"};
+
+/** Parsed arguments, validated against a FlagSpec table. */
 class Cli
 {
   public:
-    Cli(int argc, char **argv, std::string usage)
-        : _prog(argv[0]), _usage(std::move(usage))
+    Cli(int argc, char **argv, std::vector<FlagSpec> flags)
+        : _prog(argv[0]), _flags(std::move(flags))
     {
         for (int i = 1; i < argc; ++i) {
             std::string arg = argv[i];
-            if (arg.rfind("--", 0) != 0) {
-                fail("unexpected argument '" + arg + "'");
-            }
-            std::string key = arg.substr(2);
-            if (key == "help") {
-                std::cout << "usage: " << _prog << "\n" << _usage;
+            if (arg == "--help" || arg == "-h") {
+                std::cout << usage();
                 std::exit(0);
             }
-            if (i + 1 < argc &&
-                std::string(argv[i + 1]).rfind("--", 0) != 0) {
-                _args[key] = argv[++i];
+            if (arg.rfind("--", 0) != 0)
+                fail("unexpected argument '" + arg + "'");
+            std::string body = arg.substr(2);
+            size_t eq = body.find('=');
+            std::string key =
+                eq == std::string::npos ? body : body.substr(0, eq);
+            const FlagSpec *spec = find(key);
+            if (!spec)
+                fail("unknown flag '--" + key + "'");
+            if (!spec->arg.empty()) {
+                if (eq != std::string::npos) {
+                    _args[key] = body.substr(eq + 1);
+                } else if (i + 1 < argc) {
+                    _args[key] = argv[++i];
+                } else {
+                    fail("--" + key + " requires a value (" +
+                         spec->arg + ")");
+                }
             } else {
-                _args[key] = "1"; // boolean flag
+                if (eq != std::string::npos)
+                    fail("--" + key + " does not take a value");
+                _args[key] = "1";
             }
         }
     }
@@ -66,19 +114,116 @@ class Cli
 
     bool flag(const std::string &key) const { return has(key); }
 
+    std::string
+    usage() const
+    {
+        std::string out = "usage: " + _prog + " [flags]\n";
+        for (const FlagSpec &f : _flags) {
+            std::string head = "  --" + f.key;
+            if (!f.arg.empty())
+                head += " " + f.arg;
+            if (head.size() < 24)
+                head.append(24 - head.size(), ' ');
+            else
+                head += "  ";
+            out += head;
+            for (char c : f.help) {
+                out += c;
+                if (c == '\n')
+                    out.append(24, ' ');
+            }
+            out += '\n';
+        }
+        out += "  --help                  show this message\n";
+        return out;
+    }
+
     [[noreturn]] void
     fail(const std::string &msg) const
     {
-        std::cerr << _prog << ": " << msg << "\nusage: " << _prog
-                  << "\n" << _usage;
+        std::cerr << _prog << ": " << msg << "\n" << usage();
         std::exit(2);
     }
 
   private:
+    const FlagSpec *
+    find(const std::string &key) const
+    {
+        for (const FlagSpec &f : _flags) {
+            if (f.key == key)
+                return &f;
+        }
+        return nullptr;
+    }
+
     std::string _prog;
-    std::string _usage;
+    std::vector<FlagSpec> _flags;
     std::map<std::string, std::string> _args;
 };
+
+/** Output format selected by the shared --format flag. */
+enum class OutFormat
+{
+    Text,
+    Json,
+    Csv
+};
+
+/** Parse --format (default text); legacy --csv implies csv. */
+inline OutFormat
+outFormat(const Cli &cli)
+{
+    std::string f = cli.str("format", "");
+    if (f.empty())
+        return cli.flag("csv") ? OutFormat::Csv : OutFormat::Text;
+    if (f == "text")
+        return OutFormat::Text;
+    if (f == "json")
+        return OutFormat::Json;
+    if (f == "csv")
+        return OutFormat::Csv;
+    cli.fail("bad --format '" + f + "' (text|json|csv)");
+}
+
+/**
+ * Destination for the shared --out flag: the named file when given,
+ * stdout otherwise. Dying with a clear error on an unopenable path
+ * beats a run whose artifact silently went nowhere.
+ */
+class OutputSink
+{
+  public:
+    explicit OutputSink(const Cli &cli)
+    {
+        if (cli.has("out")) {
+            std::string path = cli.str("out", "");
+            _file.open(path);
+            if (!_file)
+                cli.fail("cannot open --out file '" + path + "'");
+        }
+    }
+
+    std::ostream &stream()
+    {
+        return _file.is_open() ? _file : std::cout;
+    }
+
+  private:
+    std::ofstream _file;
+};
+
+/**
+ * Shared run-length parsing: --warmup/--measure/--seed with the
+ * standard tool defaults (600K / 1M / 42).
+ */
+inline void
+applyRunLengths(const Cli &cli, uint64_t &warmup, uint64_t &measure,
+                uint64_t &seed)
+{
+    warmup = cli.num("warmup", 600 * 1000);
+    measure = cli.num("measure", 1000 * 1000);
+    seed = cli.num("seed", 42);
+}
 
 /** Resolve a workload name to a profile. */
 inline WorkloadProfile

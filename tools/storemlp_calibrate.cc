@@ -11,27 +11,18 @@
 
 #include <cmath>
 #include <iostream>
+#include <sstream>
 
 #include "cli_util.hh"
 #include "core/config_io.hh"
 #include "core/runner.hh"
+#include "stats/stats_json.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
 
 namespace
 {
-
-const char *kUsage =
-    "  --workload database|tpcw|specjbb|specweb   (default database)\n"
-    "  --profile PATH        start from a custom profile file\n"
-    "  --knob NAME           storeColdProb|loadColdProb|instColdProb|\n"
-    "                        lockProb|flushPhaseProb\n"
-    "  --metric NAME         storeMiss|loadMiss|instMiss|storeFreq\n"
-    "  --target X            desired per-100-instruction value\n"
-    "  --warmup N --measure N --seed N   run lengths (default 600K/1M)\n"
-    "  --iters N             secant iterations (default 6)\n"
-    "  --emit                print the fitted profile as key=value\n";
 
 double *
 knobPtr(WorkloadProfile &p, const std::string &name, const Cli &cli)
@@ -69,7 +60,20 @@ metricOf(const Runner::MissRates &r, const std::string &name,
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, kUsage);
+    Cli cli(argc, argv, {
+        {"workload", "database|tpcw|specjbb|specweb",
+         "workload profile (default database)"},
+        {"profile", "PATH", "start from a custom profile file"},
+        {"knob", "NAME",
+         "storeColdProb|loadColdProb|instColdProb|lockProb|"
+         "flushPhaseProb"},
+        {"metric", "NAME", "storeMiss|loadMiss|instMiss|storeFreq"},
+        {"target", "X", "desired per-100-instruction value"},
+        kWarmupFlag, kMeasureFlag, kSeedFlag,
+        {"iters", "N", "secant iterations (default 6)"},
+        {"emit", "", "print the fitted profile as key=value"},
+        kFormatFlag, kOutFlag,
+    });
     if (!cli.has("knob") || !cli.has("metric") || !cli.has("target"))
         cli.fail("--knob, --metric and --target are required");
 
@@ -88,16 +92,25 @@ main(int argc, char **argv)
     std::string metric = cli.str("metric", "");
     double target = std::strtod(cli.str("target", "0").c_str(),
                                 nullptr);
-    uint64_t warmup = cli.num("warmup", 600 * 1000);
-    uint64_t measure = cli.num("measure", 1000 * 1000);
-    uint64_t seed = cli.num("seed", 42);
+    uint64_t warmup, measure, seed;
+    applyRunLengths(cli, warmup, measure, seed);
     uint64_t iters = cli.num("iters", 6);
+
+    OutFormat fmt = outFormat(cli);
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
+    // Iteration prose belongs to the text report only; structured
+    // formats emit one fitted-result document at the end.
+    std::ostringstream discard;
+    std::ostream &prose = fmt == OutFormat::Text ? os : discard;
+    uint64_t evals = 0;
 
     auto evaluate = [&](double value) {
         WorkloadProfile p = profile;
         *knobPtr(p, knob, cli) = value;
         Runner::MissRates r =
             Runner::measureMissRates(p, seed, warmup, measure);
+        ++evals;
         return metricOf(r, metric, cli);
     };
 
@@ -108,10 +121,10 @@ main(int argc, char **argv)
     double x1 = x0 * 1.5;
     double f0 = evaluate(x0) - target;
     double f1 = evaluate(x1) - target;
-    std::cout << "iter 0: " << knob << "=" << x0 << " -> "
-              << f0 + target << "\n";
-    std::cout << "iter 1: " << knob << "=" << x1 << " -> "
-              << f1 + target << "\n";
+    prose << "iter 0: " << knob << "=" << x0 << " -> "
+          << f0 + target << "\n";
+    prose << "iter 1: " << knob << "=" << x1 << " -> "
+          << f1 + target << "\n";
 
     for (uint64_t i = 2; i < 2 + iters; ++i) {
         if (std::fabs(f1 - f0) < 1e-12)
@@ -120,8 +133,8 @@ main(int argc, char **argv)
         if (x2 < 0.0)
             x2 = x1 / 2.0;
         double f2 = evaluate(x2) - target;
-        std::cout << "iter " << i << ": " << knob << "=" << x2
-                  << " -> " << f2 + target << "\n";
+        prose << "iter " << i << ": " << knob << "=" << x2
+              << " -> " << f2 + target << "\n";
         x0 = x1;
         f0 = f1;
         x1 = x2;
@@ -130,15 +143,34 @@ main(int argc, char **argv)
             break;
     }
 
-    std::cout << "\nfitted: " << knob << " = " << x1 << "  ("
-              << metric << " = " << f1 + target << ", target "
-              << target << ")\n";
+    if (fmt != OutFormat::Text) {
+        StatsMeta meta = {
+            {"tool", "storemlp_calibrate"},
+            {"workload", profile.name},
+            {"knob", knob},
+            {"metric", metric},
+        };
+        StatsRegistry reg;
+        reg.scalar("calibrate.fitted", x1);
+        reg.scalar("calibrate.achieved", f1 + target);
+        reg.scalar("calibrate.target", target);
+        reg.counter("calibrate.evaluations", evals);
+        if (fmt == OutFormat::Json)
+            writeStatsJson(os, reg, meta, /*pretty=*/true);
+        else
+            writeStatsCsv(os, reg, meta);
+        return 0;
+    }
+
+    os << "\nfitted: " << knob << " = " << x1 << "  ("
+       << metric << " = " << f1 + target << ", target "
+       << target << ")\n";
 
     if (cli.flag("emit")) {
         WorkloadProfile fitted = profile;
         *knobPtr(fitted, knob, cli) = x1;
-        std::cout << "\n";
-        saveWorkloadProfile(std::cout, fitted);
+        os << "\n";
+        saveWorkloadProfile(os, fitted);
     }
     return 0;
 }

@@ -3,6 +3,8 @@
  * storemlp_epochs: a Figure-1-style timeline view — stream the first
  * N counted epochs of a run, one line each, with cause and
  * composition. The fastest way to see *why* a configuration stalls.
+ * --format=json emits the same epochs as JSON lines (the epoch-log
+ * record shape) followed by a versioned run summary document.
  *
  *   storemlp_epochs --workload specweb --count 25
  */
@@ -12,29 +14,27 @@
 
 #include "cli_util.hh"
 #include "coherence/chip.hh"
+#include "core/epoch_log.hh"
 #include "core/mlp_sim.hh"
+#include "stats/stats_json.hh"
 #include "trace/generator.hh"
 #include "trace/lock_detector.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
 
-namespace
-{
-
-const char *kUsage =
-    "  --workload database|tpcw|specjbb|specweb   (default database)\n"
-    "  --count N             epochs to print (default 30)\n"
-    "  --prefetch sp0|sp1|sp2                     (default sp1)\n"
-    "  --warmup N            instructions before printing (default 600K)\n"
-    "  --seed N\n";
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, kUsage);
+    Cli cli(argc, argv, {
+        {"workload", "database|tpcw|specjbb|specweb",
+         "workload profile (default database)"},
+        {"count", "N", "epochs to print (default 30)"},
+        {"prefetch", "sp0|sp1|sp2",
+         "store prefetch policy (default sp1)"},
+        kWarmupFlag, kSeedFlag,
+        kFormatFlag, kOutFlag,
+    });
     WorkloadProfile profile =
         workloadByName(cli, cli.str("workload", "database"));
     uint64_t count = cli.num("count", 30);
@@ -55,14 +55,24 @@ main(int argc, char **argv)
     ChipNode chip(HierarchyConfig{}, 0);
     MlpSimulator sim(cfg, chip, &locks);
 
-    std::cout << "epoch timeline — " << profile.name << ", "
-              << storePrefetchName(cfg.storePrefetch)
-              << " (after " << warmup << " warmup instructions)\n\n"
-              << std::left << std::setw(6) << "#" << std::setw(12)
-              << "trace idx" << std::setw(12) << "stall len"
-              << std::setw(22) << "cause" << "misses "
-              << "(ld/st/if)\n";
+    OutFormat fmt = outFormat(cli);
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
 
+    if (fmt == OutFormat::Text) {
+        os << "epoch timeline — " << profile.name << ", "
+           << storePrefetchName(cfg.storePrefetch)
+           << " (after " << warmup << " warmup instructions)\n\n"
+           << std::left << std::setw(6) << "#" << std::setw(12)
+           << "trace idx" << std::setw(12) << "stall len"
+           << std::setw(22) << "cause" << "misses "
+           << "(ld/st/if)\n";
+    } else if (fmt == OutFormat::Csv) {
+        os << "epoch,trace_idx,stall_len,cause,miss_loads,"
+              "miss_stores,miss_insts,sb_occupancy\n";
+    }
+
+    EpochLogWriter log(os);
     uint64_t printed = 0;
     double prev_resolve = 0.0;
     sim.setEpochListener([&](const EpochRecord &rec) {
@@ -70,17 +80,32 @@ main(int argc, char **argv)
             return;
         double gap = rec.startCycle - prev_resolve;
         prev_resolve = rec.resolveCycle;
-        std::cout << std::left << std::setw(6) << printed
-                  << std::setw(12) << rec.triggerIdx << std::setw(12)
-                  << static_cast<uint64_t>(rec.resolveCycle -
-                                           rec.startCycle)
-                  << std::setw(22) << termCondName(rec.cause)
-                  << rec.loads << "/" << rec.stores << "/"
-                  << rec.insts;
-        if (printed > 0)
-            std::cout << "   (+" << static_cast<uint64_t>(gap)
-                      << "cy compute)";
-        std::cout << "\n";
+        switch (fmt) {
+          case OutFormat::Json:
+            log.write(rec);
+            break;
+          case OutFormat::Csv:
+            os << printed << "," << rec.triggerIdx << ","
+               << static_cast<uint64_t>(rec.resolveCycle -
+                                        rec.startCycle)
+               << "," << termCondName(rec.cause) << "," << rec.loads
+               << "," << rec.stores << "," << rec.insts << ","
+               << rec.sbOccupancy << "\n";
+            break;
+          case OutFormat::Text:
+            os << std::left << std::setw(6) << printed
+               << std::setw(12) << rec.triggerIdx << std::setw(12)
+               << static_cast<uint64_t>(rec.resolveCycle -
+                                        rec.startCycle)
+               << std::setw(22) << termCondName(rec.cause)
+               << rec.loads << "/" << rec.stores << "/"
+               << rec.insts;
+            if (printed > 0)
+                os << "   (+" << static_cast<uint64_t>(gap)
+                   << "cy compute)";
+            os << "\n";
+            break;
+        }
         ++printed;
     });
 
@@ -88,9 +113,25 @@ main(int argc, char **argv)
     sim.process(trace, warmup, trace.size(), true);
     SimResult res = sim.takeResult();
 
-    std::cout << "\n" << res.epochs << " epochs in "
-              << res.instructions << " instructions ("
-              << res.epochsPer1000() << " per 1000), MLP "
-              << res.mlp() << "\n";
+    if (fmt == OutFormat::Json) {
+        StatsMeta meta = {
+            {"tool", "storemlp_epochs"},
+            {"kind", "run"},
+            {"workload", profile.name},
+            {"prefetch", storePrefetchName(cfg.storePrefetch)},
+            {"warmup", std::to_string(warmup)},
+        };
+        StatsRegistry reg;
+        res.exportStats(reg);
+        writeStatsJson(os, reg, meta, /*pretty=*/false);
+        return 0;
+    }
+    if (fmt == OutFormat::Csv)
+        return 0;
+
+    os << "\n" << res.epochs << " epochs in "
+       << res.instructions << " instructions ("
+       << res.epochsPer1000() << " per 1000), MLP "
+       << res.mlp() << "\n";
     return 0;
 }

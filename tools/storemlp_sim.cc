@@ -1,52 +1,63 @@
 /**
  * @file
  * storemlp_sim: command-line front end for the epoch-MLP simulator.
- * Runs one (workload, configuration) point and prints either a full
- * report or a CSV row for scripting.
+ * Runs one (workload, configuration) point and prints a full report,
+ * a versioned JSON run artifact, or CSV.
  *
  *   storemlp_sim --workload database --prefetch sp2 --model wc \
- *                --sle --scout hws2 --sq 64 --measure 2000000 --csv
+ *                --sle --scout hws2 --sq 64 --measure 2000000 \
+ *                --format=json --out run.json --epoch-log run.jsonl
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "cli_util.hh"
 #include "core/config_io.hh"
 #include "core/runner.hh"
+#include "stats/stats_json.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
 
-namespace
-{
-
-const char *kUsage =
-    "  --workload database|tpcw|specjbb|specweb   (default database)\n"
-    "  --prefetch sp0|sp1|sp2                     (default sp1)\n"
-    "  --model pc|wc                              (default pc)\n"
-    "  --sle                 enable speculative lock elision\n"
-    "  --pps                 prefetch past serializing instructions\n"
-    "  --scout off|hws0|hws1|hws2                 (default off)\n"
-    "  --sq N --sb N --rob N --iw N   structure sizes\n"
-    "  --coalesce N          coalescing granularity bytes (0 = off)\n"
-    "  --perfect-stores      stores never stall (bound)\n"
-    "  --smac-entries N      enable a SMAC with N entries\n"
-    "  --l1-kb N --l2-kb N --l2-assoc N   cache geometry overrides\n"
-    "  --chips N --peers --sibling   multiprocessor setup\n"
-    "  --moesi               MOESI coherence (default MESI)\n"
-    "  --latency N           off-chip miss penalty (default 500)\n"
-    "  --warmup N --measure N --seed N\n"
-    "  --config PATH         load SimConfig from key=value file\n"
-    "                        (flags below override file values)\n"
-    "  --profile PATH        load a custom WorkloadProfile file\n"
-    "  --csv                 one CSV row (with header)\n";
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, kUsage);
+    Cli cli(argc, argv, {
+        {"workload", "database|tpcw|specjbb|specweb",
+         "workload profile (default database)"},
+        {"prefetch", "sp0|sp1|sp2",
+         "store prefetch policy (default sp1)"},
+        {"model", "pc|wc", "memory consistency model (default pc)"},
+        {"sle", "", "enable speculative lock elision"},
+        {"pps", "", "prefetch past serializing instructions"},
+        {"scout", "off|hws0|hws1|hws2",
+         "hardware scout mode (default off)"},
+        {"sq", "N", "store queue entries"},
+        {"sb", "N", "store buffer entries"},
+        {"rob", "N", "reorder buffer entries"},
+        {"iw", "N", "issue window entries"},
+        {"coalesce", "N", "coalescing granularity bytes (0 = off)"},
+        {"perfect-stores", "", "stores never stall (bound)"},
+        {"smac-entries", "N", "enable a SMAC with N entries"},
+        {"l1-kb", "N", "L1 size override (KB)"},
+        {"l2-kb", "N", "L2 size override (KB)"},
+        {"l2-assoc", "N", "L2 associativity override"},
+        {"chips", "N", "chips in the multiprocessor (default 1)"},
+        {"peers", "", "drive remote chips with peer traffic"},
+        {"sibling", "", "second core sharing the measured L2"},
+        {"moesi", "", "MOESI coherence (default MESI)"},
+        {"latency", "N", "off-chip miss penalty (default 500)"},
+        kWarmupFlag, kMeasureFlag, kSeedFlag,
+        {"config", "PATH",
+         "load SimConfig from key=value file\n"
+         "(flags override file values)"},
+        {"profile", "PATH", "load a custom WorkloadProfile file"},
+        {"epoch-log", "PATH",
+         "write a JSON-lines per-epoch trace to PATH"},
+        kFormatFlag, kOutFlag,
+        {"csv", "", "legacy headline CSV row (see --format)"},
+    });
 
     RunSpec spec;
     if (cli.has("profile")) {
@@ -161,43 +172,76 @@ main(int argc, char **argv)
         spec.protocol = CoherenceProtocol::Moesi;
     spec.peerTraffic = cli.flag("peers");
     spec.siblingCore = cli.flag("sibling");
-    spec.warmupInsts = cli.num("warmup", 600 * 1000);
-    spec.measureInsts = cli.num("measure", 1000 * 1000);
-    spec.seed = cli.num("seed", 42);
+    applyRunLengths(cli, spec.warmupInsts, spec.measureInsts,
+                    spec.seed);
+
+    std::ofstream epoch_ofs;
+    if (cli.has("epoch-log")) {
+        std::string path = cli.str("epoch-log", "");
+        epoch_ofs.open(path);
+        if (!epoch_ofs)
+            cli.fail("cannot open --epoch-log file '" + path + "'");
+        spec.epochLog = &epoch_ofs;
+    }
 
     RunOutput out = Runner::run(spec);
 
-    if (cli.flag("csv")) {
-        std::cout << "workload,prefetch,model,sle,scout,sq,sb,"
-                     "epochs_per_1000,mlp,store_mlp,offchip_cpi,"
-                     "overlapped_frac,miss_loads_100,miss_stores_100,"
-                     "miss_insts_100\n";
-        std::cout << spec.profile.name << "," << sp << "," << model
-                  << "," << (cfg.sle ? 1 : 0) << "," << scout << ","
-                  << cfg.storeQueueSize << "," << cfg.storeBufferSize
-                  << "," << out.sim.epochsPer1000() << ","
-                  << out.sim.mlp() << "," << out.sim.storeMlp() << ","
-                  << out.sim.offChipCpi(cfg.missLatency) << ","
-                  << out.sim.overlappedStoreFraction() << ","
-                  << out.sim.missLoadsPer100() << ","
-                  << out.sim.missStoresPer100() << ","
-                  << out.sim.missInstsPer100() << "\n";
+    OutFormat fmt = outFormat(cli);
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
+
+    if (fmt == OutFormat::Csv && !cli.has("format")) {
+        // Legacy --csv headline row, byte-for-byte stable.
+        os << "workload,prefetch,model,sle,scout,sq,sb,"
+              "epochs_per_1000,mlp,store_mlp,offchip_cpi,"
+              "overlapped_frac,miss_loads_100,miss_stores_100,"
+              "miss_insts_100\n";
+        os << spec.profile.name << "," << sp << "," << model
+           << "," << (cfg.sle ? 1 : 0) << "," << scout << ","
+           << cfg.storeQueueSize << "," << cfg.storeBufferSize
+           << "," << out.sim.epochsPer1000() << ","
+           << out.sim.mlp() << "," << out.sim.storeMlp() << ","
+           << out.sim.offChipCpi(cfg.missLatency) << ","
+           << out.sim.overlappedStoreFraction() << ","
+           << out.sim.missLoadsPer100() << ","
+           << out.sim.missStoresPer100() << ","
+           << out.sim.missInstsPer100() << "\n";
         return 0;
     }
 
-    std::cout << "workload " << spec.profile.name << ", model "
-              << memoryModelName(cfg.memoryModel) << ", "
-              << storePrefetchName(cfg.storePrefetch) << ", scout "
-              << scoutModeName(cfg.scout) << (cfg.sle ? ", SLE" : "")
-              << "\n\n";
-    out.sim.print(std::cout);
-    std::cout << "off-chip CPI (" << cfg.missLatency
-              << "cy): " << out.sim.offChipCpi(cfg.missLatency) << "\n";
+    if (fmt != OutFormat::Text) {
+        StatsMeta meta = {
+            {"tool", "storemlp_sim"},
+            {"workload", spec.profile.name},
+            {"model", model},
+            {"prefetch", sp},
+            {"scout", scout},
+            {"seed", std::to_string(spec.seed)},
+            {"warmup", std::to_string(spec.warmupInsts)},
+            {"measure", std::to_string(spec.measureInsts)},
+        };
+        StatsRegistry reg;
+        out.exportStats(reg);
+        if (fmt == OutFormat::Json)
+            writeStatsJson(os, reg, meta, /*pretty=*/true);
+        else
+            writeStatsCsv(os, reg, meta);
+        return 0;
+    }
+
+    os << "workload " << spec.profile.name << ", model "
+       << memoryModelName(cfg.memoryModel) << ", "
+       << storePrefetchName(cfg.storePrefetch) << ", scout "
+       << scoutModeName(cfg.scout) << (cfg.sle ? ", SLE" : "")
+       << "\n\n";
+    out.sim.print(os);
+    os << "off-chip CPI (" << cfg.missLatency
+       << "cy): " << out.sim.offChipCpi(cfg.missLatency) << "\n";
     if (spec.smac) {
-        std::cout << "SMAC accelerated stores: "
-                  << out.sim.smacAcceleratedStores
-                  << ", coherence invalidates/1000: "
-                  << out.smacInvalidatesPer1000() << "\n";
+        os << "SMAC accelerated stores: "
+           << out.sim.smacAcceleratedStores
+           << ", coherence invalidates/1000: "
+           << out.smacInvalidatesPer1000() << "\n";
     }
     return 0;
 }

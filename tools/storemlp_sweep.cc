@@ -3,46 +3,46 @@
  * storemlp_sweep: run a whole directory of SimConfig files (e.g.
  * configs/*.cfg) against one or all workloads in a single parallel
  * invocation of the sweep engine. Prints one table per workload
- * (config x headline metrics, with per-run wall-clock) or CSV rows
- * with --csv.
+ * (config x headline metrics, with per-run wall-clock), CSV rows, or
+ * — with --format=json — one versioned JSON document per run (JSON
+ * lines) followed by an engine summary document.
  *
  *   storemlp_sweep --dir configs --workload all --jobs 4
- *   storemlp_sweep --dir configs --workload tpcw --csv
+ *   storemlp_sweep --dir configs --workload tpcw --format=json
  */
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "cli_util.hh"
 #include "core/config_io.hh"
 #include "core/sweep.hh"
+#include "stats/stats_json.hh"
 #include "stats/table.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
 
-namespace
-{
-
-const char *kUsage =
-    "  --dir PATH            directory of *.cfg SimConfig files\n"
-    "                        (default: configs)\n"
-    "  --workload all|database|tpcw|specjbb|specweb (default all)\n"
-    "  --jobs N              worker threads (default: STOREMLP_JOBS,\n"
-    "                        else hardware concurrency)\n"
-    "  --warmup N --measure N --seed N   run lengths (defaults\n"
-    "                        600000 / 1000000 / 42)\n"
-    "  --no-trace-cache      rebuild the trace for every run\n"
-    "  --csv                 CSV rows instead of tables\n";
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, kUsage);
+    Cli cli(argc, argv, {
+        {"dir", "PATH",
+         "directory of *.cfg SimConfig files (default: configs)"},
+        {"workload", "all|database|tpcw|specjbb|specweb",
+         "workload(s) to sweep (default all)"},
+        kJobsFlag,
+        kWarmupFlag, kMeasureFlag, kSeedFlag,
+        {"no-trace-cache", "", "rebuild the trace for every run"},
+        {"epoch-log", "DIR",
+         "write one JSON-lines epoch trace per run into DIR"},
+        kFormatFlag, kOutFlag,
+        {"csv", "", "legacy headline CSV rows (see --format)"},
+    });
 
     std::string dir = cli.str("dir", "configs");
     std::vector<std::filesystem::path> files;
@@ -76,20 +76,41 @@ main(int argc, char **argv)
     else
         profiles.push_back(workloadByName(cli, wl));
 
-    uint64_t warmup = cli.num("warmup", 600 * 1000);
-    uint64_t measure = cli.num("measure", 1000 * 1000);
-    uint64_t seed = cli.num("seed", 42);
+    uint64_t warmup, measure, seed;
+    applyRunLengths(cli, warmup, measure, seed);
 
     std::vector<RunSpec> specs;
+    std::vector<std::string> run_names;
     for (const auto &profile : profiles) {
-        for (const SimConfig &cfg : configs) {
+        for (size_t c = 0; c < configs.size(); ++c) {
             RunSpec spec;
             spec.profile = profile;
-            spec.config = cfg;
+            spec.config = configs[c];
             spec.warmupInsts = warmup;
             spec.measureInsts = measure;
             spec.seed = seed;
             specs.push_back(spec);
+            run_names.push_back(profile.name + "_" + config_names[c]);
+        }
+    }
+
+    // One epoch-log stream per run: the workers run concurrently, so
+    // the runs cannot share a sink.
+    std::vector<std::unique_ptr<std::ofstream>> epoch_logs;
+    if (cli.has("epoch-log")) {
+        std::filesystem::path log_dir = cli.str("epoch-log", "");
+        std::filesystem::create_directories(log_dir, ec);
+        if (ec)
+            cli.fail("cannot create --epoch-log directory '" +
+                     log_dir.string() + "': " + ec.message());
+        for (size_t i = 0; i < specs.size(); ++i) {
+            auto os = std::make_unique<std::ofstream>(
+                log_dir / (run_names[i] + ".epochs.jsonl"));
+            if (!*os)
+                cli.fail("cannot open epoch log for run '" +
+                         run_names[i] + "'");
+            specs[i].epochLog = os.get();
+            epoch_logs.push_back(std::move(os));
         }
     }
 
@@ -100,26 +121,62 @@ main(int argc, char **argv)
     SweepEngine engine(opts);
     std::vector<SweepResult> results = engine.run(specs);
 
-    if (cli.flag("csv")) {
-        std::cout << "workload,config,epochs_per_1000,mlp,store_mlp,"
-                     "offchip_cpi,overlapped_frac,wall_ms,"
-                     "trace_cache_hit\n";
+    OutFormat fmt = outFormat(cli);
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
+
+    if (fmt == OutFormat::Csv) {
+        os << "workload,config,epochs_per_1000,mlp,store_mlp,"
+              "offchip_cpi,overlapped_frac,wall_ms,"
+              "trace_cache_hit\n";
         size_t idx = 0;
         for (const auto &profile : profiles) {
             for (size_t c = 0; c < configs.size(); ++c) {
                 const SweepResult &r = results[idx++];
-                std::cout
-                    << profile.name << "," << config_names[c] << ","
-                    << r.output.sim.epochsPer1000() << ","
-                    << r.output.sim.mlp() << ","
-                    << r.output.sim.storeMlp() << ","
-                    << r.output.sim.offChipCpi(
-                           configs[c].missLatency)
-                    << "," << r.output.sim.overlappedStoreFraction()
-                    << "," << r.wallMs << ","
-                    << (r.traceCacheHit ? 1 : 0) << "\n";
+                os << profile.name << "," << config_names[c] << ","
+                   << r.output.sim.epochsPer1000() << ","
+                   << r.output.sim.mlp() << ","
+                   << r.output.sim.storeMlp() << ","
+                   << r.output.sim.offChipCpi(configs[c].missLatency)
+                   << "," << r.output.sim.overlappedStoreFraction()
+                   << "," << r.wallMs << ","
+                   << (r.traceCacheHit ? 1 : 0) << "\n";
             }
         }
+        return 0;
+    }
+
+    if (fmt == OutFormat::Json) {
+        // JSON lines: one compact versioned document per run, then an
+        // engine summary document (trace-cache sharing, job count).
+        size_t idx = 0;
+        for (const auto &profile : profiles) {
+            for (size_t c = 0; c < configs.size(); ++c) {
+                const SweepResult &r = results[idx++];
+                StatsMeta meta = {
+                    {"tool", "storemlp_sweep"},
+                    {"kind", "run"},
+                    {"workload", profile.name},
+                    {"config", config_names[c]},
+                    {"seed", std::to_string(seed)},
+                    {"warmup", std::to_string(warmup)},
+                    {"measure", std::to_string(measure)},
+                };
+                StatsRegistry reg;
+                r.output.exportStats(reg);
+                reg.scalar("sweep.run.wallMs", r.wallMs);
+                reg.counter("sweep.run.traceCacheHit",
+                            r.traceCacheHit ? 1 : 0);
+                writeStatsJson(os, reg, meta, /*pretty=*/false);
+            }
+        }
+        StatsMeta meta = {
+            {"tool", "storemlp_sweep"},
+            {"kind", "sweep-summary"},
+        };
+        StatsRegistry reg;
+        engine.exportStats(reg);
+        writeStatsJson(os, reg, meta, /*pretty=*/false);
         return 0;
     }
 
@@ -141,12 +198,12 @@ main(int argc, char **argv)
             table.cell(r.output.sim.overlappedStoreFraction(), 3);
             table.cell(r.wallMs, 1);
         }
-        table.print(std::cout);
+        table.print(os);
     }
 
     TraceCacheStats cs = engine.traceCache().stats();
-    std::cout << "trace cache: " << cs.hits << " hits, " << cs.misses
-              << " misses, " << cs.bytes / (1024 * 1024)
-              << " MB resident\n";
+    os << "trace cache: " << cs.hits << " hits, " << cs.misses
+       << " misses, " << cs.bytes / (1024 * 1024)
+       << " MB resident\n";
     return 0;
 }

@@ -1,7 +1,8 @@
 /**
  * @file
  * storemlp_tracegen: generate a synthetic workload trace and write it
- * in the storemlp binary trace format.
+ * in the storemlp binary trace format. The generation report goes to
+ * stdout (text, JSON document, or CSV).
  *
  *   storemlp_tracegen --workload tpcw --count 5000000 \
  *                     --seed 7 --out tpcw.trc [--wc]
@@ -10,6 +11,7 @@
 #include <iostream>
 
 #include "cli_util.hh"
+#include "stats/stats_json.hh"
 #include "trace/generator.hh"
 #include "trace/rewriter.hh"
 #include "trace/trace_io.hh"
@@ -17,24 +19,20 @@
 using namespace storemlp;
 using namespace storemlp::tools;
 
-namespace
-{
-
-const char *kUsage =
-    "  --workload database|tpcw|specjbb|specweb   (default database)\n"
-    "  --count N             instructions to generate (default 1M)\n"
-    "  --seed N              generator seed (default 42)\n"
-    "  --chip N              chip id for region placement (default 0)\n"
-    "  --wc                  emit the weak-consistency rendition\n"
-    "  --v2                  delta-compressed output format\n"
-    "  --out PATH            output file (required)\n";
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, kUsage);
+    Cli cli(argc, argv, {
+        {"workload", "database|tpcw|specjbb|specweb",
+         "workload profile (default database)"},
+        {"count", "N", "instructions to generate (default 1M)"},
+        kSeedFlag,
+        {"chip", "N", "chip id for region placement (default 0)"},
+        {"wc", "", "emit the weak-consistency rendition"},
+        {"v2", "", "delta-compressed output format"},
+        {"out", "PATH", "output trace file (required)"},
+        kFormatFlag,
+    });
     if (!cli.has("out"))
         cli.fail("--out is required");
 
@@ -59,6 +57,28 @@ main(int argc, char **argv)
     }
 
     Trace::Mix mix = trace.mix();
+    OutFormat fmt = outFormat(cli);
+    if (fmt != OutFormat::Text) {
+        StatsMeta meta = {
+            {"tool", "storemlp_tracegen"},
+            {"workload", profile.name},
+            {"model", cli.flag("wc") ? "wc" : "pc"},
+            {"file", cli.str("out", "")},
+        };
+        StatsRegistry reg;
+        reg.counter("trace.records", trace.size());
+        reg.counter("trace.loads", mix.loads);
+        reg.counter("trace.stores", mix.stores);
+        reg.counter("trace.branches", mix.branches);
+        reg.counter("trace.atomics", mix.atomics);
+        reg.counter("trace.barriers", mix.barriers);
+        if (fmt == OutFormat::Json)
+            writeStatsJson(std::cout, reg, meta, /*pretty=*/true);
+        else
+            writeStatsCsv(std::cout, reg, meta);
+        return 0;
+    }
+
     std::cout << "wrote " << trace.size() << " records ("
               << profile.name << (cli.flag("wc") ? ", WC" : ", PC/TSO")
               << ")\n"

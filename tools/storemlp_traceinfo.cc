@@ -10,25 +10,21 @@
 #include <iostream>
 
 #include "cli_util.hh"
+#include "stats/stats_json.hh"
 #include "trace/lock_detector.hh"
 #include "trace/trace_io.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
 
-namespace
-{
-
-const char *kUsage =
-    "  --in PATH     trace file (required)\n"
-    "  --dump N      print the first N records\n";
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    Cli cli(argc, argv, kUsage);
+    Cli cli(argc, argv, {
+        {"in", "PATH", "trace file (required)"},
+        {"dump", "N", "print the first N records (text only)"},
+        kFormatFlag, kOutFlag,
+    });
     if (!cli.has("in"))
         cli.fail("--in is required");
 
@@ -41,45 +37,75 @@ main(int argc, char **argv)
     }
 
     Trace::Mix mix = trace.mix();
-    double n = std::max<double>(1.0, static_cast<double>(mix.total));
-    std::cout << "records:  " << mix.total << "\n"
-              << std::fixed << std::setprecision(2)
-              << "loads:    " << mix.loads << " ("
-              << 100.0 * mix.loads / n << "%)\n"
-              << "stores:   " << mix.stores << " ("
-              << 100.0 * mix.stores / n << "%)\n"
-              << "branches: " << mix.branches << " ("
-              << 100.0 * mix.branches / n << "%)\n"
-              << "atomics:  " << mix.atomics << "\n"
-              << "barriers: " << mix.barriers << "\n";
-
     LockAnalysis locks = LockDetector().analyze(trace);
-    std::cout << "critical sections: " << locks.pairs.size() << "\n";
+    uint64_t total_len = 0;
+    for (const auto &p : locks.pairs)
+        total_len += p.releaseIdx - p.acquireIdx;
+
+    OutFormat fmt = outFormat(cli);
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
+
+    if (fmt != OutFormat::Text) {
+        StatsMeta meta = {
+            {"tool", "storemlp_traceinfo"},
+            {"file", cli.str("in", "")},
+        };
+        StatsRegistry reg;
+        reg.counter("trace.records", mix.total);
+        reg.counter("trace.loads", mix.loads);
+        reg.counter("trace.stores", mix.stores);
+        reg.counter("trace.branches", mix.branches);
+        reg.counter("trace.atomics", mix.atomics);
+        reg.counter("trace.barriers", mix.barriers);
+        reg.counter("trace.criticalSections", locks.pairs.size());
+        reg.scalar("trace.meanCriticalSectionLen",
+                   locks.pairs.empty()
+                       ? 0.0
+                       : static_cast<double>(total_len) /
+                             static_cast<double>(locks.pairs.size()));
+        if (fmt == OutFormat::Json)
+            writeStatsJson(os, reg, meta, /*pretty=*/true);
+        else
+            writeStatsCsv(os, reg, meta);
+        return 0;
+    }
+
+    double n = std::max<double>(1.0, static_cast<double>(mix.total));
+    os << "records:  " << mix.total << "\n"
+       << std::fixed << std::setprecision(2)
+       << "loads:    " << mix.loads << " ("
+       << 100.0 * mix.loads / n << "%)\n"
+       << "stores:   " << mix.stores << " ("
+       << 100.0 * mix.stores / n << "%)\n"
+       << "branches: " << mix.branches << " ("
+       << 100.0 * mix.branches / n << "%)\n"
+       << "atomics:  " << mix.atomics << "\n"
+       << "barriers: " << mix.barriers << "\n";
+
+    os << "critical sections: " << locks.pairs.size() << "\n";
     if (!locks.pairs.empty()) {
-        uint64_t total_len = 0;
-        for (const auto &p : locks.pairs)
-            total_len += p.releaseIdx - p.acquireIdx;
-        std::cout << "mean critical-section length: "
-                  << static_cast<double>(total_len) /
-                         static_cast<double>(locks.pairs.size())
-                  << " instructions\n";
+        os << "mean critical-section length: "
+           << static_cast<double>(total_len) /
+                  static_cast<double>(locks.pairs.size())
+           << " instructions\n";
     }
 
     uint64_t dump = cli.num("dump", 0);
     for (uint64_t i = 0; i < dump && i < trace.size(); ++i) {
         const TraceRecord &r = trace[i];
-        std::cout << std::setw(6) << i << "  0x" << std::hex
-                  << r.pc << std::dec << "  " << std::setw(6)
-                  << instClassName(r.cls);
+        os << std::setw(6) << i << "  0x" << std::hex
+           << r.pc << std::dec << "  " << std::setw(6)
+           << instClassName(r.cls);
         if (isMemClass(r.cls))
-            std::cout << "  addr=0x" << std::hex << r.addr << std::dec;
+            os << "  addr=0x" << std::hex << r.addr << std::dec;
         if (r.cls == InstClass::Branch)
-            std::cout << (r.taken() ? "  taken" : "  not-taken");
+            os << (r.taken() ? "  taken" : "  not-taken");
         if (r.lockAcquire())
-            std::cout << "  [acquire]";
+            os << "  [acquire]";
         if (r.lockRelease())
-            std::cout << "  [release]";
-        std::cout << "\n";
+            os << "  [release]";
+        os << "\n";
     }
     return 0;
 }
