@@ -11,6 +11,7 @@
 #include <streambuf>
 
 #include "stats/stats_json.hh"
+#include "util/parse.hh"
 
 namespace storemlp::bench
 {
@@ -85,15 +86,14 @@ prose()
 BenchScale
 BenchScale::fromEnv()
 {
+    // Strict parses: a typo'd scale knob must abort, not silently
+    // run a full-length (or zero-length) experiment.
     BenchScale s;
-    if (const char *w = std::getenv("STOREMLP_WARMUP"))
-        s.warmup = std::strtoull(w, nullptr, 10);
-    if (const char *m = std::getenv("STOREMLP_MEASURE"))
-        s.measure = std::strtoull(m, nullptr, 10);
-    if (const char *w = std::getenv("STOREMLP_SMAC_WARMUP"))
-        s.smacWarmup = std::strtoull(w, nullptr, 10);
-    if (const char *m = std::getenv("STOREMLP_SMAC_MEASURE"))
-        s.smacMeasure = std::strtoull(m, nullptr, 10);
+    s.warmup = envU64Strict("STOREMLP_WARMUP", s.warmup, 1);
+    s.measure = envU64Strict("STOREMLP_MEASURE", s.measure, 1);
+    s.smacWarmup = envU64Strict("STOREMLP_SMAC_WARMUP", s.smacWarmup, 1);
+    s.smacMeasure =
+        envU64Strict("STOREMLP_SMAC_MEASURE", s.smacMeasure, 1);
     return s;
 }
 
@@ -126,7 +126,13 @@ sweepAll(const std::vector<RunSpec> &specs)
 void
 sweepTasks(const std::vector<std::function<void()>> &tasks)
 {
-    sweepEngine().runTasks(tasks);
+    // All tasks run to completion; the first failure is then fatal
+    // for a bench binary (its table would be missing cells).
+    std::vector<TaskStatus> statuses = sweepEngine().runTasks(tasks);
+    for (const TaskStatus &s : statuses) {
+        if (!s.ok)
+            throw SimError(s.errorMessage);
+    }
 }
 
 void

@@ -9,8 +9,11 @@
 #include <functional>
 #include <istream>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
+
+#include "util/parse.hh"
 
 namespace storemlp
 {
@@ -42,15 +45,12 @@ parseBool(const std::string &v, const std::string &key)
 uint64_t
 parseU64(const std::string &v, const std::string &key)
 {
-    try {
-        size_t pos = 0;
-        uint64_t r = std::stoull(v, &pos);
-        if (pos != v.size())
-            throw std::invalid_argument(v);
-        return r;
-    } catch (const std::exception &) {
+    // parseU64Strict rejects signs, whitespace and trailing junk —
+    // std::stoull would accept "-5" by wrapping it to 2^64-5.
+    std::optional<uint64_t> r = parseU64Strict(v);
+    if (!r)
         throw ConfigParseError("bad integer for '" + key + "': " + v);
-    }
+    return *r;
 }
 
 double

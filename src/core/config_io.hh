@@ -19,24 +19,21 @@
 #define STOREMLP_CORE_CONFIG_IO_HH
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "core/sim_config.hh"
 #include "trace/workload.hh"
+#include "util/error.hh"
 
 namespace storemlp
 {
 
-/** Thrown on malformed or unknown configuration input. */
-class ConfigParseError : public std::runtime_error
-{
-  public:
-    explicit ConfigParseError(const std::string &what)
-        : std::runtime_error(what)
-    {
-    }
-};
+/**
+ * Thrown on malformed or unknown configuration input. Historical name
+ * for the shared ConfigError (util/error.hh), kept so existing catch
+ * sites keep working.
+ */
+using ConfigParseError = ConfigError;
 
 /** Parse a SimConfig from key=value text. Starts from defaults. */
 SimConfig loadSimConfig(std::istream &is);

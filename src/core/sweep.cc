@@ -5,12 +5,15 @@
 
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+
+#include "util/parse.hh"
 
 #ifdef _WIN32
 #include <io.h>
@@ -48,11 +51,11 @@ SweepOptions::progressFromEnv()
 unsigned
 SweepEngine::defaultJobs()
 {
-    if (const char *env = std::getenv("STOREMLP_JOBS")) {
-        unsigned long v = std::strtoul(env, nullptr, 10);
-        if (v >= 1)
-            return static_cast<unsigned>(v);
-    }
+    // Strict: a malformed or zero STOREMLP_JOBS raises ConfigError
+    // instead of silently running serial (or with garbage-as-0).
+    uint64_t v = envU64Strict("STOREMLP_JOBS", 0, 1, 4096);
+    if (v >= 1)
+        return static_cast<unsigned>(v);
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }
@@ -71,6 +74,21 @@ SweepEngine::resolveJobs(size_t work_items) const
     return jobs ? jobs : 1;
 }
 
+RunOutput
+SweepEngine::runOnce(const RunSpec &spec, bool *hit)
+{
+    *hit = false;
+    if (_opts.useTraceCache && _cache) {
+        std::shared_ptr<const Trace> trace = _cache->getOrBuild(
+            Runner::traceCacheKey(spec),
+            [&spec] { return Runner::buildTrace(spec); }, hit);
+        return _opts.runOverride ? _opts.runOverride(spec, trace.get())
+                                 : Runner::run(spec, trace.get());
+    }
+    return _opts.runOverride ? _opts.runOverride(spec, nullptr)
+                             : Runner::run(spec);
+}
+
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<RunSpec> &specs)
 {
@@ -79,9 +97,11 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
         return results;
 
     unsigned jobs = resolveJobs(specs.size());
+    unsigned max_attempts = std::max(1u, _opts.maxAttempts);
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> failed{0};
     std::mutex progress_mu;
     Clock::time_point t0 = Clock::now();
 
@@ -89,29 +109,57 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
         size_t i;
         while ((i = next.fetch_add(1)) < specs.size()) {
             const RunSpec &spec = specs[i];
+            SweepResult &res = results[i];
             Clock::time_point rt0 = Clock::now();
-            bool hit = false;
-            if (_opts.useTraceCache) {
-                std::shared_ptr<const Trace> trace = _cache->getOrBuild(
-                    Runner::traceCacheKey(spec),
-                    [&spec] { return Runner::buildTrace(spec); }, &hit);
-                results[i].output = Runner::run(spec, trace.get());
-            } else {
-                results[i].output = Runner::run(spec);
+
+            // Fault containment: an exception from trace construction
+            // or the runner fails this slot (optionally after bounded
+            // retries) instead of escaping the worker thread — where
+            // it would hit std::terminate and discard every result.
+            std::string err;
+            res.ok = false;
+            for (unsigned attempt = 1; attempt <= max_attempts;
+                 ++attempt) {
+                res.attempts = attempt;
+                if (attempt > 1)
+                    _runRetries.fetch_add(1);
+                bool hit = false;
+                try {
+                    res.output = runOnce(spec, &hit);
+                    res.ok = true;
+                } catch (const std::exception &e) {
+                    err = e.what();
+                } catch (...) {
+                    err = "unknown exception";
+                }
+                res.traceCacheHit = hit;
+                if (res.ok)
+                    break;
             }
-            results[i].wallMs = msSince(rt0);
-            results[i].traceCacheHit = hit;
-            if (hit)
+            res.wallMs = msSince(rt0);
+            if (res.ok) {
+                res.errorMessage.clear();
+                _runsOk.fetch_add(1);
+            } else {
+                res.output = RunOutput{};
+                res.errorMessage =
+                    RunError(i, spec.config.name, err).what();
+                _runsFailed.fetch_add(1);
+                failed.fetch_add(1);
+            }
+            if (res.traceCacheHit)
                 hits.fetch_add(1);
             size_t d = done.fetch_add(1) + 1;
             if (_opts.progress) {
                 std::lock_guard<std::mutex> lk(progress_mu);
                 std::fprintf(stderr,
                              "\r[sweep] %zu/%zu runs, %llu trace-cache "
-                             "hits, %.1fs elapsed ",
+                             "hits, %llu failed, %.1fs elapsed ",
                              d, specs.size(),
                              static_cast<unsigned long long>(
                                  hits.load()),
+                             static_cast<unsigned long long>(
+                                 failed.load()),
                              msSince(t0) / 1000.0);
                 std::fflush(stderr);
             }
@@ -132,9 +180,10 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
     if (_opts.progress) {
         std::fprintf(stderr,
                      "\r[sweep] %zu runs done in %.1fs (%u jobs, %llu "
-                     "trace-cache hits)        \n",
+                     "trace-cache hits, %llu failed)        \n",
                      specs.size(), msSince(t0) / 1000.0, jobs,
-                     static_cast<unsigned long long>(hits.load()));
+                     static_cast<unsigned long long>(hits.load()),
+                     static_cast<unsigned long long>(failed.load()));
         std::fflush(stderr);
     }
     return results;
@@ -146,33 +195,57 @@ SweepEngine::runOutputs(const std::vector<RunSpec> &specs)
     std::vector<SweepResult> res = run(specs);
     std::vector<RunOutput> outs;
     outs.reserve(res.size());
-    for (auto &r : res)
-        outs.push_back(std::move(r.output));
+    for (size_t i = 0; i < res.size(); ++i) {
+        // errorMessage already carries the run index + config name.
+        if (!res[i].ok)
+            throw SimError(res[i].errorMessage);
+        outs.push_back(std::move(res[i].output));
+    }
     return outs;
 }
 
 void
 SweepEngine::exportStats(StatsRegistry &reg) const
 {
-    TraceCacheStats cs = _cache->stats();
+    // An engine built without a cache (useTraceCache=false) still
+    // exports the full counter set, zeroed, so artifact schemas do
+    // not change shape with the configuration.
+    TraceCacheStats cs = _cache ? _cache->stats() : TraceCacheStats{};
     reg.counter("sweep.traceCache.hits", cs.hits);
     reg.counter("sweep.traceCache.misses", cs.misses);
     reg.counter("sweep.traceCache.evictions", cs.evictions);
     reg.counter("sweep.traceCache.bytes", cs.bytes);
     reg.counter("sweep.jobs", _opts.jobs ? _opts.jobs : defaultJobs());
+    reg.counter("sweep.runs.ok", _runsOk.load());
+    reg.counter("sweep.runs.failed", _runsFailed.load());
+    reg.counter("sweep.runs.retries", _runRetries.load());
 }
 
-void
+std::vector<TaskStatus>
 SweepEngine::runTasks(const std::vector<std::function<void()>> &tasks)
 {
+    std::vector<TaskStatus> statuses(tasks.size());
     if (tasks.empty())
-        return;
+        return statuses;
     unsigned jobs = resolveJobs(tasks.size());
     std::atomic<size_t> next{0};
     auto worker = [&]() {
         size_t i;
-        while ((i = next.fetch_add(1)) < tasks.size())
-            tasks[i]();
+        while ((i = next.fetch_add(1)) < tasks.size()) {
+            // Same containment as run(): a throwing task fails its
+            // own status slot; the remaining tasks still execute.
+            try {
+                tasks[i]();
+            } catch (const std::exception &e) {
+                statuses[i].ok = false;
+                statuses[i].errorMessage =
+                    RunError(i, "", e.what()).what();
+            } catch (...) {
+                statuses[i].ok = false;
+                statuses[i].errorMessage =
+                    RunError(i, "", "unknown exception").what();
+            }
+        }
     };
     if (jobs == 1) {
         worker();
@@ -184,6 +257,7 @@ SweepEngine::runTasks(const std::vector<std::function<void()>> &tasks)
         for (auto &t : pool)
             t.join();
     }
+    return statuses;
 }
 
 } // namespace storemlp

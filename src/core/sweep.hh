@@ -12,17 +12,27 @@
  * Results are bit-identical across `jobs` values: each run owns its
  * machine state and RNG (seeded from the spec), the only shared input
  * is an immutable trace, and result slots are index-addressed.
+ *
+ * Faults are contained per run: an exception thrown by trace
+ * construction or by the runner marks that run's `SweepResult` as
+ * failed (`ok == false`, diagnostic in `errorMessage`) and the sweep
+ * continues — one corrupt configuration or transient failure never
+ * discards the other N-1 results or terminates the process.
  */
 
 #ifndef STOREMLP_CORE_SWEEP_HH
 #define STOREMLP_CORE_SWEEP_HH
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/runner.hh"
 #include "trace/trace_cache.hh"
+#include "util/error.hh"
 
 namespace storemlp
 {
@@ -35,11 +45,26 @@ struct SweepOptions
     /** Share input traces across runs via the trace cache. */
     bool useTraceCache = true;
     /**
+     * Attempts per run (>= 1). Values above 1 retry a throwing run —
+     * bounded containment for transient failures (a cache build that
+     * lost a race with eviction, an I/O hiccup). Deterministic faults
+     * simply fail `maxAttempts` times and are reported once.
+     */
+    unsigned maxAttempts = 1;
+    /**
      * Emit a live progress line (runs completed / total, cache hits)
      * to stderr. Defaults from the environment: on when stderr is a
      * terminal, forced by STOREMLP_PROGRESS=1, silenced by =0.
      */
     bool progress = progressFromEnv();
+    /**
+     * Test/fault-injection hook: when set, executes a run instead of
+     * `Runner::run(spec, trace)`. Lets tests throw from the Nth run
+     * (or return synthetic outputs) without touching the production
+     * path; null for normal operation.
+     */
+    std::function<RunOutput(const RunSpec &, const Trace *)>
+        runOverride;
 
     static bool progressFromEnv();
 };
@@ -50,6 +75,19 @@ struct SweepResult
     RunOutput output;
     double wallMs = 0.0;        ///< wall-clock time of this run
     bool traceCacheHit = false; ///< input trace came from the cache
+    /** Run completed; when false `output` is default-initialized. */
+    bool ok = true;
+    /** Attempts consumed (1 unless maxAttempts retried the run). */
+    unsigned attempts = 1;
+    /** Diagnostic from the last failed attempt when !ok. */
+    std::string errorMessage;
+};
+
+/** Outcome of one `runTasks` task. */
+struct TaskStatus
+{
+    bool ok = true;
+    std::string errorMessage; ///< diagnostic when !ok
 };
 
 /** Executes batches of RunSpecs on a worker pool. */
@@ -61,27 +99,47 @@ class SweepEngine
 
     /**
      * Run every spec; results come back in submission order
-     * (result[i] corresponds to specs[i]).
+     * (result[i] corresponds to specs[i]). A throwing run is
+     * contained: its slot reports `ok == false` with a diagnostic,
+     * every other slot is delivered normally. Does not throw for
+     * per-run failures.
      */
     std::vector<SweepResult> run(const std::vector<RunSpec> &specs);
 
-    /** Convenience: outputs only, submission order. */
+    /**
+     * Convenience: outputs only, submission order. Throws RunError
+     * for the first failed run — callers that need partial results
+     * under faults should use run().
+     */
     std::vector<RunOutput> runOutputs(const std::vector<RunSpec> &specs);
 
     /**
      * Run arbitrary independent tasks on the same pool (used by the
      * cache-only and CPI-model benches, which are not RunSpec
-     * shaped). Tasks must not share mutable state.
+     * shaped). Tasks must not share mutable state. Exceptions are
+     * captured per task — every task still executes — and reported in
+     * the returned statuses (statuses[i] corresponds to tasks[i]).
      */
-    void runTasks(const std::vector<std::function<void()>> &tasks);
+    std::vector<TaskStatus>
+    runTasks(const std::vector<std::function<void()>> &tasks);
 
+    /** Valid only when constructed with a non-null cache. */
     TraceCache &traceCache() { return *_cache; }
+    bool hasTraceCache() const { return _cache != nullptr; }
     const SweepOptions &options() const { return _opts; }
 
+    /** Runs that completed / failed across this engine's lifetime. */
+    uint64_t runsSucceeded() const { return _runsOk.load(); }
+    uint64_t runsFailed() const { return _runsFailed.load(); }
+    /** Retry attempts beyond the first, across all runs. */
+    uint64_t runRetries() const { return _runRetries.load(); }
+
     /**
-     * Register engine-side observability (`sweep.traceCache.*`) into
-     * `reg` — the cache sharing that makes batch artifacts cheap is
-     * itself part of the run artifact.
+     * Register engine-side observability (`sweep.traceCache.*`,
+     * `sweep.runs.*`) into `reg` — the cache sharing that makes batch
+     * artifacts cheap, and the fault ledger, are themselves part of
+     * the run artifact. Safe without a cache: the traceCache counters
+     * are emitted as zeros.
      */
     void exportStats(StatsRegistry &reg) const;
 
@@ -90,9 +148,14 @@ class SweepEngine
 
   private:
     unsigned resolveJobs(size_t work_items) const;
+    /** One attempt of spec i; throws on failure. */
+    RunOutput runOnce(const RunSpec &spec, bool *hit);
 
     SweepOptions _opts;
     TraceCache *_cache;
+    std::atomic<uint64_t> _runsOk{0};
+    std::atomic<uint64_t> _runsFailed{0};
+    std::atomic<uint64_t> _runRetries{0};
 };
 
 } // namespace storemlp

@@ -5,8 +5,9 @@
 
 #include "trace/trace_cache.hh"
 
-#include <cstdlib>
 #include <utility>
+
+#include "util/parse.hh"
 
 namespace storemlp
 {
@@ -16,12 +17,10 @@ TraceCache::TraceCache(uint64_t max_bytes) : _maxBytes(max_bytes) {}
 uint64_t
 TraceCache::defaultMaxBytes()
 {
-    uint64_t mb = 2048;
-    if (const char *env = std::getenv("STOREMLP_TRACE_CACHE_MB")) {
-        uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            mb = v;
-    }
+    // Cap at 2^44 bytes worth of megabytes so the *1024*1024 below
+    // cannot overflow; throws ConfigError on a malformed value.
+    uint64_t mb = envU64Strict("STOREMLP_TRACE_CACHE_MB", 2048, 1,
+                               uint64_t{1} << 24);
     return mb * 1024 * 1024;
 }
 
@@ -102,17 +101,23 @@ TraceCache::touchLocked(Entry &entry, const std::string &key)
 void
 TraceCache::evictLocked()
 {
-    // Never evict the most recent entry (the one just inserted) and
-    // skip in-flight builds (bytes == 0 until the build lands).
-    while (_stats.bytes > _maxBytes && _lru.size() > 1) {
-        auto victim = std::prev(_lru.end());
+    // Scan from the LRU tail toward the head, skipping in-flight
+    // builds (bytes == 0 until the build lands) rather than stopping
+    // at them — one pending build at the tail must not pin the whole
+    // cache above budget. The head (most recent, typically the entry
+    // just inserted) is never evicted.
+    auto victim = _lru.end();
+    while (_stats.bytes > _maxBytes && victim != _lru.begin()) {
+        --victim;
+        if (victim == _lru.begin())
+            break;
         auto it = _entries.find(*victim);
         if (it == _entries.end() || it->second.bytes == 0)
-            break;
+            continue;
         _stats.bytes -= it->second.bytes;
         ++_stats.evictions;
         _entries.erase(it);
-        _lru.erase(victim);
+        victim = _lru.erase(victim);
     }
 }
 

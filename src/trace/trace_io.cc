@@ -10,10 +10,12 @@
 
 #include "trace/trace_io.hh"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 
 namespace storemlp
@@ -156,6 +158,57 @@ writeTraceCompressed(std::ostream &os, const Trace &trace)
 namespace
 {
 
+/**
+ * Pre-reserve ceiling when the stream size is unknown (non-seekable
+ * input): the vector grows incrementally past this, so a corrupt
+ * header count can at worst waste ~24 MB, not allocate 2^64 bytes.
+ */
+constexpr uint64_t kMaxBlindReserve = 1u << 20;
+
+/**
+ * Bytes left in the stream after the current position, or nullopt for
+ * non-seekable streams. Used to reject header record counts that the
+ * stream cannot possibly satisfy before reserving memory for them.
+ */
+std::optional<uint64_t>
+remainingBytes(std::istream &is)
+{
+    std::istream::pos_type cur = is.tellg();
+    if (cur == std::istream::pos_type(-1))
+        return std::nullopt;
+    is.seekg(0, std::ios::end);
+    std::istream::pos_type end = is.tellg();
+    is.seekg(cur);
+    if (end == std::istream::pos_type(-1) || end < cur || !is)
+        return std::nullopt;
+    return static_cast<uint64_t>(end - cur);
+}
+
+/**
+ * Validate an untrusted header record count against the bytes that
+ * actually remain (each record occupies at least `min_record_bytes`)
+ * and return a safe reserve() amount. Throws TraceFormatError on an
+ * impossible count instead of letting reserve() OOM the process.
+ */
+uint64_t
+checkedReserve(std::istream &is, uint64_t count,
+               uint64_t min_record_bytes)
+{
+    std::optional<uint64_t> remaining = remainingBytes(is);
+    if (remaining) {
+        if (count > *remaining / min_record_bytes) {
+            throw TraceFormatError(
+                "trace header count " + std::to_string(count) +
+                " exceeds stream capacity (" +
+                std::to_string(*remaining) + " bytes remain, >= " +
+                std::to_string(min_record_bytes) +
+                " bytes per record)");
+        }
+        return count;
+    }
+    return std::min(count, kMaxBlindReserve);
+}
+
 Trace
 readTraceV1(std::istream &is)
 {
@@ -166,7 +219,7 @@ readTraceV1(std::istream &is)
     uint64_t count = getU64(hdr);
 
     std::vector<TraceRecord> records;
-    records.reserve(count);
+    records.reserve(checkedReserve(is, count, kRecordBytes));
     std::array<uint8_t, kRecordBytes> buf;
     for (uint64_t i = 0; i < count; ++i) {
         is.read(reinterpret_cast<char *>(buf.data()), buf.size());
@@ -198,7 +251,8 @@ readTraceV2(std::istream &is)
     uint64_t count = getU64(hdr);
 
     std::vector<TraceRecord> records;
-    records.reserve(count);
+    // v2 records are at least the control byte.
+    records.reserve(checkedReserve(is, count, 1));
     uint64_t prev_pc = 0;
     for (uint64_t i = 0; i < count; ++i) {
         int ctrl_c = is.get();

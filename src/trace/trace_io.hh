@@ -9,20 +9,19 @@
 #define STOREMLP_TRACE_TRACE_IO_HH
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
 #include "trace/trace.hh"
+#include "util/error.hh"
 
 namespace storemlp
 {
 
 /** Thrown on malformed trace files. */
-class TraceFormatError : public std::runtime_error
+class TraceFormatError : public SimError
 {
   public:
-    explicit TraceFormatError(const std::string &what)
-        : std::runtime_error(what)
+    explicit TraceFormatError(const std::string &what) : SimError(what)
     {
     }
 };

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Structured error hierarchy for the simulator. Every failure the
+ * engine can surface to a caller derives from `SimError`, so tools and
+ * the sweep engine can contain faults with a single catch clause while
+ * still distinguishing the three failure families:
+ *
+ *   ConfigError      — malformed external configuration (config files,
+ *                      environment variables, profile files).
+ *   TraceFormatError — malformed binary trace input (declared in
+ *                      trace/trace_io.hh; derives from SimError).
+ *   RunError         — a simulation run failed; carries the run index
+ *                      and configuration name so a batch report can
+ *                      point at the exact failing point.
+ *
+ * The hierarchy exists for containment, not control flow: a throwing
+ * run inside a parallel sweep must degrade to one failed result slot,
+ * never to std::terminate.
+ */
+
+#ifndef STOREMLP_UTIL_ERROR_HH
+#define STOREMLP_UTIL_ERROR_HH
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace storemlp
+{
+
+/** Base class of every error the simulator raises deliberately. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &what) : std::runtime_error(what)
+    {
+    }
+};
+
+/** Malformed external configuration: files, flags, environment. */
+class ConfigError : public SimError
+{
+  public:
+    explicit ConfigError(const std::string &what) : SimError(what) {}
+};
+
+/**
+ * A simulation run failed. Wraps the underlying cause with the run's
+ * batch index and configuration name, so sweep reports and JSON
+ * artifacts identify the failing point without guessing.
+ */
+class RunError : public SimError
+{
+  public:
+    RunError(size_t run_index, std::string config_name,
+             const std::string &cause)
+        : SimError("run " + std::to_string(run_index) +
+                   (config_name.empty() ? std::string()
+                                        : " (" + config_name + ")") +
+                   ": " + cause),
+          _runIndex(run_index), _configName(std::move(config_name))
+    {
+    }
+
+    size_t runIndex() const { return _runIndex; }
+    const std::string &configName() const { return _configName; }
+
+  private:
+    size_t _runIndex;
+    std::string _configName;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_UTIL_ERROR_HH

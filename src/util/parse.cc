@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Strict numeric parsing implementation.
+ */
+
+#include "util/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/error.hh"
+
+namespace storemlp
+{
+
+std::optional<uint64_t>
+parseU64Strict(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return std::nullopt;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return std::nullopt;
+    return static_cast<uint64_t>(v);
+}
+
+uint64_t
+envU64Strict(const char *name, uint64_t def, uint64_t min_value,
+             uint64_t max_value)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return def;
+    std::optional<uint64_t> v = parseU64Strict(env);
+    if (!v) {
+        throw ConfigError(std::string(name) + "='" + env +
+                          "' is not a decimal integer");
+    }
+    if (*v < min_value || *v > max_value) {
+        throw ConfigError(std::string(name) + "=" +
+                          std::to_string(*v) + " out of range [" +
+                          std::to_string(min_value) + ", " +
+                          std::to_string(max_value) + "]");
+    }
+    return *v;
+}
+
+} // namespace storemlp

@@ -19,10 +19,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "trace/workload.hh"
+#include "util/error.hh"
+#include "util/parse.hh"
 
 namespace storemlp::tools
 {
@@ -103,13 +106,23 @@ class Cli
         return it == _args.end() ? def : it->second;
     }
 
+    /**
+     * Numeric flag value, strictly validated: `--seed abc` and
+     * `--warmup 10k` are usage errors (exit 2), not silent zeros
+     * or truncations.
+     */
     uint64_t
     num(const std::string &key, uint64_t def) const
     {
         auto it = _args.find(key);
-        return it == _args.end()
-            ? def
-            : std::strtoull(it->second.c_str(), nullptr, 10);
+        if (it == _args.end())
+            return def;
+        std::optional<uint64_t> v = parseU64Strict(it->second);
+        if (!v) {
+            fail("bad --" + key + " value '" + it->second +
+                 "': expected an unsigned decimal integer");
+        }
+        return *v;
     }
 
     bool flag(const std::string &key) const { return has(key); }
@@ -160,6 +173,28 @@ class Cli
     std::vector<FlagSpec> _flags;
     std::map<std::string, std::string> _args;
 };
+
+/**
+ * Run a tool's main body under the simulator error contract: a
+ * SimError (bad trace file, bad config, failed run, bad environment
+ * variable) exits 1 with a one-line diagnostic; anything else escaping
+ * is an internal bug and exits 70 so scripts can tell the two apart.
+ * Usage errors exit 2 via Cli::fail before the body ever runs.
+ */
+inline int
+runTool(const char *prog, int (*body)(int, char **), int argc,
+        char **argv)
+{
+    try {
+        return body(argc, argv);
+    } catch (const SimError &e) {
+        std::cerr << prog << ": error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << prog << ": internal error: " << e.what() << "\n";
+        return 70;
+    }
+}
 
 /** Output format selected by the shared --format flag. */
 enum class OutFormat

@@ -55,10 +55,8 @@ metricOf(const Runner::MissRates &r, const std::string &name,
     cli.fail("unknown --metric '" + name + "'");
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"workload", "database|tpcw|specjbb|specweb",
@@ -173,4 +171,12 @@ main(int argc, char **argv)
         saveWorkloadProfile(os, fitted);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
 }

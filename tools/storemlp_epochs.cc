@@ -23,8 +23,11 @@
 using namespace storemlp;
 using namespace storemlp::tools;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"workload", "database|tpcw|specjbb|specweb",
@@ -134,4 +137,12 @@ main(int argc, char **argv)
        << res.epochsPer1000() << " per 1000), MLP "
        << res.mlp() << "\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
 }

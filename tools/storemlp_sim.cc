@@ -20,8 +20,11 @@
 using namespace storemlp;
 using namespace storemlp::tools;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"workload", "database|tpcw|specjbb|specweb",
@@ -244,4 +247,12 @@ main(int argc, char **argv)
            << out.smacInvalidatesPer1000() << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
 }

@@ -27,8 +27,11 @@
 using namespace storemlp;
 using namespace storemlp::tools;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"dir", "PATH",
@@ -38,6 +41,8 @@ main(int argc, char **argv)
         kJobsFlag,
         kWarmupFlag, kMeasureFlag, kSeedFlag,
         {"no-trace-cache", "", "rebuild the trace for every run"},
+        {"retries", "N",
+         "retry a failing run up to N extra times (default 0)"},
         {"epoch-log", "DIR",
          "write one JSON-lines epoch trace per run into DIR"},
         kFormatFlag, kOutFlag,
@@ -117,9 +122,18 @@ main(int argc, char **argv)
     SweepOptions opts;
     if (cli.has("jobs"))
         opts.jobs = static_cast<unsigned>(cli.num("jobs", 0));
+    if (cli.has("retries"))
+        opts.maxAttempts =
+            1 + static_cast<unsigned>(cli.num("retries", 0));
     opts.useTraceCache = !cli.flag("no-trace-cache");
     SweepEngine engine(opts);
     std::vector<SweepResult> results = engine.run(specs);
+
+    // Fault containment: failed runs are reported (and fail the exit
+    // code) but never discard the completed results.
+    size_t failed = 0;
+    for (const SweepResult &r : results)
+        failed += r.ok ? 0 : 1;
 
     OutFormat fmt = outFormat(cli);
     OutputSink sink(cli);
@@ -128,7 +142,7 @@ main(int argc, char **argv)
     if (fmt == OutFormat::Csv) {
         os << "workload,config,epochs_per_1000,mlp,store_mlp,"
               "offchip_cpi,overlapped_frac,wall_ms,"
-              "trace_cache_hit\n";
+              "trace_cache_hit,ok\n";
         size_t idx = 0;
         for (const auto &profile : profiles) {
             for (size_t c = 0; c < configs.size(); ++c) {
@@ -140,10 +154,15 @@ main(int argc, char **argv)
                    << r.output.sim.offChipCpi(configs[c].missLatency)
                    << "," << r.output.sim.overlappedStoreFraction()
                    << "," << r.wallMs << ","
-                   << (r.traceCacheHit ? 1 : 0) << "\n";
+                   << (r.traceCacheHit ? 1 : 0) << ","
+                   << (r.ok ? 1 : 0) << "\n";
             }
         }
-        return 0;
+        for (const SweepResult &r : results) {
+            if (!r.ok)
+                std::cerr << "error: " << r.errorMessage << "\n";
+        }
+        return failed ? 1 : 0;
     }
 
     if (fmt == OutFormat::Json) {
@@ -162,8 +181,13 @@ main(int argc, char **argv)
                     {"warmup", std::to_string(warmup)},
                     {"measure", std::to_string(measure)},
                 };
+                if (!r.ok)
+                    meta.push_back({"error", r.errorMessage});
                 StatsRegistry reg;
-                r.output.exportStats(reg);
+                if (r.ok)
+                    r.output.exportStats(reg);
+                reg.counter("sweep.run.ok", r.ok ? 1 : 0);
+                reg.counter("sweep.run.attempts", r.attempts);
                 reg.scalar("sweep.run.wallMs", r.wallMs);
                 reg.counter("sweep.run.traceCacheHit",
                             r.traceCacheHit ? 1 : 0);
@@ -177,7 +201,7 @@ main(int argc, char **argv)
         StatsRegistry reg;
         engine.exportStats(reg);
         writeStatsJson(os, reg, meta, /*pretty=*/false);
-        return 0;
+        return failed ? 1 : 0;
     }
 
     size_t idx = 0;
@@ -190,6 +214,13 @@ main(int argc, char **argv)
             const SweepResult &r = results[idx++];
             table.beginRow();
             table.cell(config_names[c]);
+            if (!r.ok) {
+                table.cell("FAILED");
+                for (int k = 0; k < 4; ++k)
+                    table.cell("-");
+                table.cell(r.wallMs, 1);
+                continue;
+            }
             table.cell(r.output.sim.epochsPer1000(), 3);
             table.cell(r.output.sim.mlp(), 3);
             table.cell(r.output.sim.storeMlp(), 3);
@@ -201,9 +232,27 @@ main(int argc, char **argv)
         table.print(os);
     }
 
-    TraceCacheStats cs = engine.traceCache().stats();
-    os << "trace cache: " << cs.hits << " hits, " << cs.misses
-       << " misses, " << cs.bytes / (1024 * 1024)
-       << " MB resident\n";
-    return 0;
+    if (engine.hasTraceCache()) {
+        TraceCacheStats cs = engine.traceCache().stats();
+        os << "trace cache: " << cs.hits << " hits, " << cs.misses
+           << " misses, " << cs.bytes / (1024 * 1024)
+           << " MB resident\n";
+    }
+    if (failed) {
+        os << failed << " of " << results.size()
+           << " runs failed:\n";
+        for (const SweepResult &r : results) {
+            if (!r.ok)
+                os << "  " << r.errorMessage << "\n";
+        }
+    }
+    return failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
 }

@@ -19,8 +19,11 @@
 using namespace storemlp;
 using namespace storemlp::tools;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"workload", "database|tpcw|specjbb|specweb",
@@ -86,4 +89,12 @@ main(int argc, char **argv)
               << ", branches " << mix.branches << ", atomics "
               << mix.atomics << ", barriers " << mix.barriers << "\n";
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
 }

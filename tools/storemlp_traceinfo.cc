@@ -17,8 +17,11 @@
 using namespace storemlp;
 using namespace storemlp::tools;
 
+namespace
+{
+
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"in", "PATH", "trace file (required)"},
@@ -108,4 +111,12 @@ main(int argc, char **argv)
         os << "\n";
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
 }
