@@ -6,6 +6,7 @@
 #include "bench_common.hh"
 
 #include <cstdlib>
+#include <optional>
 #include <fstream>
 #include <iostream>
 #include <streambuf>
@@ -25,6 +26,12 @@ struct BenchIo
     tools::OutFormat fmt = tools::OutFormat::Text;
     std::ofstream file;
     bool toFile = false;
+    // Flag overrides; empty/zero defers to the environment knobs.
+    std::optional<uint64_t> warmupOverride;
+    std::optional<uint64_t> measureOverride;
+    unsigned jobs = 0;
+    bool streaming = false;
+    uint64_t chunkInsts = 0;
 };
 
 BenchIo &
@@ -54,7 +61,14 @@ void
 benchInit(int argc, char **argv, const char *tool)
 {
     io().tool = tool;
-    tools::Cli cli(argc, argv, {tools::kFormatFlag, tools::kOutFlag});
+    tools::Cli cli(argc, argv, {
+        tools::kFormatFlag, tools::kOutFlag, tools::kCsvFlag,
+        tools::kJobsFlag, tools::kWarmupFlag, tools::kMeasureFlag,
+        {"stream", "",
+         "run against streaming trace sources (O(chunk) trace\n"
+         "memory per worker)"},
+        tools::kChunkInstsFlag,
+    });
     io().fmt = tools::outFormat(cli);
     if (cli.has("out")) {
         std::string path = cli.str("out", "");
@@ -63,6 +77,16 @@ benchInit(int argc, char **argv, const char *tool)
             cli.fail("cannot open --out file '" + path + "'");
         io().toFile = true;
     }
+    // Flags beat the STOREMLP_* environment knobs: an explicit
+    // command line should never be silently rescaled by ambient env.
+    if (cli.has("warmup"))
+        io().warmupOverride = cli.num("warmup", 0);
+    if (cli.has("measure"))
+        io().measureOverride = cli.num("measure", 0);
+    if (cli.has("jobs"))
+        io().jobs = static_cast<unsigned>(cli.num("jobs", 0));
+    io().streaming = cli.flag("stream") || cli.has("chunk-insts");
+    io().chunkInsts = cli.num("chunk-insts", 0);
 }
 
 tools::OutFormat
@@ -94,6 +118,10 @@ BenchScale::fromEnv()
     s.smacWarmup = envU64Strict("STOREMLP_SMAC_WARMUP", s.smacWarmup, 1);
     s.smacMeasure =
         envU64Strict("STOREMLP_SMAC_MEASURE", s.smacMeasure, 1);
+    if (io().warmupOverride)
+        s.warmup = *io().warmupOverride;
+    if (io().measureOverride)
+        s.measure = *io().measureOverride;
     return s;
 }
 
@@ -113,7 +141,15 @@ applyScale(RunSpec &spec, const BenchScale &scale)
 SweepEngine &
 sweepEngine()
 {
-    static SweepEngine engine;
+    // Lazily built on first use, after benchInit has parsed the
+    // command line, so flag overrides land in the engine options.
+    static SweepEngine engine([] {
+        SweepOptions opts;
+        opts.jobs = io().jobs;
+        opts.streaming = io().streaming;
+        opts.chunkInsts = io().chunkInsts;
+        return opts;
+    }());
     return engine;
 }
 

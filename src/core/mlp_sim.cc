@@ -157,17 +157,17 @@ MlpSimulator::checkQuietResolve()
 }
 
 void
-MlpSimulator::terminate(const Trace &trace, TermCond cond)
+MlpSimulator::terminate(TraceCursor &cur, TermCond cond)
 {
     if (!_gen.open)
         return;
 
     if (_cfg.scout != ScoutMode::Off && scoutEligible(cond)) {
-        runScout(trace);
+        runScout(cur);
     } else if (_cfg.prefetchPastSerializing &&
                (cond == TermCond::StoreSerialize ||
                 cond == TermCond::OtherSerialize)) {
-        runSerializeLookahead(trace);
+        runSerializeLookahead(cur);
     }
 
     if (_collect) {
@@ -496,7 +496,7 @@ MlpSimulator::executeEntry(RobEntry &e, bool replay)
 // ---------------------------------------------------------------------
 
 bool
-MlpSimulator::handleSerializing(const Trace &trace, const TraceRecord &r,
+MlpSimulator::handleSerializing(TraceCursor &cur, const TraceRecord &r,
                                 SerializeEffect eff)
 {
     (void)r;
@@ -519,7 +519,7 @@ MlpSimulator::handleSerializing(const Trace &trace, const TraceRecord &r,
             ++_res.serializeStalls;
         TermCond cond = _gen.loads > 0 ? TermCond::OtherSerialize
                                        : TermCond::StoreSerialize;
-        terminate(trace, cond);
+        terminate(cur, cond);
         return false; // retry this instruction
     }
 
@@ -535,9 +535,8 @@ MlpSimulator::handleSerializing(const Trace &trace, const TraceRecord &r,
 // ---------------------------------------------------------------------
 
 void
-MlpSimulator::dispatch(const Trace &trace, const TraceRecord &r)
+MlpSimulator::dispatch(TraceCursor &cur, const TraceRecord &r)
 {
-    (void)trace;
     _cycle += _cfg.cpiOnChip;
     if (_collect) {
         ++_res.instructions;
@@ -595,7 +594,7 @@ MlpSimulator::dispatch(const Trace &trace, const TraceRecord &r)
             _rob.push_back(e);
             if (!correct) {
                 // Unresolvable misprediction: the window ends here.
-                terminate(trace, TermCond::MispredBranch);
+                terminate(cur, TermCond::MispredBranch);
             }
             return;
         }
@@ -631,12 +630,16 @@ MlpSimulator::dispatch(const Trace &trace, const TraceRecord &r)
     _rob.push_back(e);
 }
 
-void
-MlpSimulator::stepOne(const Trace &trace)
+bool
+MlpSimulator::stepOne(TraceCursor &cur)
 {
+    const TraceRecord *rp = cur.tryAt(_i);
+    if (!rp)
+        return false; // end of stream
+
     checkQuietResolve();
 
-    const TraceRecord &r = trace[_i];
+    const TraceRecord &r = *rp;
 
     // ---- fetch ----
     if (!_skipFetch) {
@@ -647,8 +650,8 @@ MlpSimulator::stepOne(const Trace &trace)
             onMiss(MissKind::Inst);
             _inflightLines.insert(lineOf(r.pc));
             _skipFetch = true; // resume here after the stall
-            terminate(trace, TermCond::InstructionMiss);
-            return;
+            terminate(cur, TermCond::InstructionMiss);
+            return true;
         }
     }
 
@@ -656,8 +659,8 @@ MlpSimulator::stepOne(const Trace &trace)
     // SLE removes the serializing semantics of elided lock sequences.
     SerializeEffect eff = serializeEffect(r.cls, _cfg.memoryModel);
     if ((eff.pipelineDrain || eff.storeDrain) && !elidedAt(_i)) {
-        if (!handleSerializing(trace, r, eff))
-            return; // retry after the stall / drain progress
+        if (!handleSerializing(cur, r, eff))
+            return true; // retry after the stall / drain progress
     }
 
     // ---- dispatch resource checks ----
@@ -676,8 +679,8 @@ MlpSimulator::stepOne(const Trace &trace)
                     "MlpSimulator: window blocked without an open "
                     "generation");
             }
-            terminate(trace, classifyWindowBlock());
-            return;
+            terminate(cur, classifyWindowBlock());
+            return true;
         }
         if (needs_sb && _sb.full()) {
             if (!_gen.open) {
@@ -685,22 +688,23 @@ MlpSimulator::stepOne(const Trace &trace)
                     "MlpSimulator: store buffer blocked without an "
                     "open generation");
             }
-            terminate(trace, _sq.full() ? TermCond::SqStoreBufferFull
-                                        : TermCond::StoreBufferFull);
-            return;
+            terminate(cur, _sq.full() ? TermCond::SqStoreBufferFull
+                                      : TermCond::StoreBufferFull);
+            return true;
         }
     }
 
     // ---- dispatch ----
-    dispatch(trace, r);
+    dispatch(cur, r);
     ++_i;
     _skipFetch = false;
     notePeerProgress();
     drainPipeline();
+    return true;
 }
 
 void
-MlpSimulator::process(const Trace &trace, uint64_t begin, uint64_t end,
+MlpSimulator::process(TraceCursor &cur, uint64_t begin, uint64_t end,
                       bool collect)
 {
     // Measurement boundary: resolve any warmup-era generation so its
@@ -711,7 +715,6 @@ MlpSimulator::process(const Trace &trace, uint64_t begin, uint64_t end,
     _collect = collect;
     if (collect && !was_collect && _gen.open)
         resolveGeneration();
-    end = std::min<uint64_t>(end, trace.size());
     _i = begin;
 
     uint64_t stuck = 0;
@@ -719,7 +722,11 @@ MlpSimulator::process(const Trace &trace, uint64_t begin, uint64_t end,
     double last_cycle = -1.0;
 
     while (_i < end) {
-        stepOne(trace);
+        if (!stepOne(cur))
+            break; // end of stream
+        // Chunks wholly behind the dispatch point are never read
+        // again (lookahead only runs forward): release them.
+        cur.trim(_i);
         if (_i == last_i && _cycle == last_cycle) {
             if (++stuck > 100000) {
                 throw std::logic_error(
@@ -734,14 +741,33 @@ MlpSimulator::process(const Trace &trace, uint64_t begin, uint64_t end,
     }
 }
 
+void
+MlpSimulator::process(const Trace &trace, uint64_t begin, uint64_t end,
+                      bool collect)
+{
+    MaterializedSource src(trace);
+    TraceCursor cur(src);
+    process(cur, begin, std::min<uint64_t>(end, trace.size()), collect);
+}
+
+SimResult
+MlpSimulator::run(TraceSource &src, uint64_t warmup_insts)
+{
+    TraceCursor cur(src);
+    uint64_t start = 0;
+    if (warmup_insts) {
+        process(cur, 0, warmup_insts, false);
+        start = _i; // == min(warmup, stream length)
+    }
+    process(cur, start, ~uint64_t{0}, true);
+    return takeResult();
+}
+
 SimResult
 MlpSimulator::run(const Trace &trace, uint64_t warmup_insts)
 {
-    warmup_insts = std::min<uint64_t>(warmup_insts, trace.size());
-    if (warmup_insts)
-        process(trace, 0, warmup_insts, false);
-    process(trace, warmup_insts, trace.size(), true);
-    return takeResult();
+    MaterializedSource src(trace);
+    return run(src, warmup_insts);
 }
 
 SimResult

@@ -30,6 +30,7 @@
 #include "core/sim_result.hh"
 #include "trace/lock_detector.hh"
 #include "trace/trace.hh"
+#include "trace/trace_source.hh"
 #include "uarch/branch_predictor.hh"
 #include "uarch/regdep.hh"
 #include "uarch/store_buffer.hh"
@@ -68,16 +69,34 @@ class MlpSimulator
                  const LockAnalysis *locks = nullptr);
 
     /**
-     * Process trace records [begin, end). May be called repeatedly
-     * (e.g. an uncollected warmup pass followed by a measured pass);
-     * pipeline and cache state persist across calls.
+     * Process records [begin, end) of the stream behind `cur`. May be
+     * called repeatedly (e.g. an uncollected warmup pass followed by a
+     * measured pass); pipeline and cache state persist across calls.
+     * Stops early at end-of-stream, so `end` may be ~0 for "the rest".
      * @param collect record statistics into the result
+     */
+    void process(TraceCursor &cur, uint64_t begin, uint64_t end,
+                 bool collect);
+
+    /**
+     * Compatibility shim over the cursor path; behaviorally identical
+     * to pre-TraceSource releases. Slated for deletion — prefer the
+     * TraceCursor overload.
      */
     void process(const Trace &trace, uint64_t begin, uint64_t end,
                  bool collect);
 
-    /** Convenience: warmup then measure the rest of the trace. */
+    /** Convenience: warmup then measure the rest of the stream. */
+    SimResult run(TraceSource &src, uint64_t warmup_insts = 0);
+
+    /** Compatibility shim; prefer the TraceSource overload. */
     SimResult run(const Trace &trace, uint64_t warmup_insts = 0);
+
+    /**
+     * Next trace index the simulator will dispatch: where the last
+     * process() call stopped (its `end`, or the stream end).
+     */
+    uint64_t position() const { return _i; }
 
     /** Drain in-flight state and return accumulated statistics. */
     SimResult takeResult();
@@ -137,11 +156,12 @@ class MlpSimulator
     };
 
     // ---- main loop steps ----
-    void stepOne(const Trace &trace);
+    /** One fetch/dispatch step; false once _i is past the stream. */
+    bool stepOne(TraceCursor &cur);
     /** Execute (or defer) the record at _rob entry e; replay-safe. */
     void executeEntry(RobEntry &e, bool replay);
-    void dispatch(const Trace &trace, const TraceRecord &r);
-    bool handleSerializing(const Trace &trace, const TraceRecord &r,
+    void dispatch(TraceCursor &cur, const TraceRecord &r);
+    bool handleSerializing(TraceCursor &cur, const TraceRecord &r,
                            SerializeEffect eff);
 
     // ---- retirement / commit ----
@@ -153,7 +173,7 @@ class MlpSimulator
 
     // ---- epoch machinery ----
     void onMiss(MissKind kind);
-    void terminate(const Trace &trace, TermCond cond);
+    void terminate(TraceCursor &cur, TermCond cond);
     void resolveGeneration();
     void checkQuietResolve();
     /** Blocked-dispatch termination cause classification. */
@@ -161,11 +181,11 @@ class MlpSimulator
 
     // ---- lookahead engines (scout.cc) ----
     /** Hardware Scout: run ahead during the stall, prefetching. */
-    void runScout(const Trace &trace);
+    void runScout(TraceCursor &cur);
     /** Prefetch past a serializing instruction (ROB-bounded). */
-    void runSerializeLookahead(const Trace &trace);
+    void runSerializeLookahead(TraceCursor &cur);
     /** Shared lookahead core. */
-    void lookahead(const Trace &trace, uint64_t start, uint64_t budget,
+    void lookahead(TraceCursor &cur, uint64_t start, uint64_t budget,
                    bool prefetch_stores, bool train_predictor);
     bool scoutEligible(TermCond cond) const;
 

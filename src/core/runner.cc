@@ -66,6 +66,25 @@ Runner::traceCacheKey(const RunSpec &spec)
     return os.str();
 }
 
+std::unique_ptr<TraceSource>
+Runner::makeSource(const RunSpec &spec, uint64_t chunk_insts,
+                   TraceCache *chunk_cache)
+{
+    std::unique_ptr<TraceSource> src = std::make_unique<GeneratorSource>(
+        spec.profile, spec.seed,
+        spec.warmupInsts + spec.measureInsts, 0, chunk_insts);
+    if (spec.config.memoryModel == MemoryModel::WeakConsistency)
+        src = std::make_unique<WcRewriteSource>(std::move(src));
+    if (chunk_cache) {
+        std::string key = traceCacheKey(spec) +
+            "|chunk=" + std::to_string(src->chunkInsts());
+        src = std::make_unique<CachedSource>(std::move(src),
+                                             *chunk_cache,
+                                             std::move(key));
+    }
+    return src;
+}
+
 RunOutput
 Runner::run(const RunSpec &spec, const Trace *prebuilt)
 {
@@ -74,10 +93,19 @@ Runner::run(const RunSpec &spec, const Trace *prebuilt)
         owned = buildTrace(spec);
         prebuilt = &owned;
     }
-    const Trace &trace = *prebuilt;
+    MaterializedSource source(*prebuilt);
+    return run(spec, source);
+}
 
-    LockDetector detector;
-    LockAnalysis locks = detector.analyze(trace);
+RunOutput
+Runner::run(const RunSpec &spec, TraceSource &source)
+{
+    // Lock analysis feeds SLE/TM only; the simulator never reads it
+    // otherwise, so skip the extra pass (and its one-byte-per-record
+    // roles vector) unless those optimizations are on.
+    std::optional<LockAnalysis> locks;
+    if (spec.config.sle || spec.config.tm.enabled)
+        locks = analyzeSource(source);
 
     // ---- build the machine ----
     HierarchyConfig hier_cfg = spec.hierarchy.value_or(HierarchyConfig{});
@@ -124,7 +152,7 @@ Runner::run(const RunSpec &spec, const Trace *prebuilt)
     SimConfig cfg = spec.config;
     cfg.cpiOnChip = spec.profile.cpiOnChip;
 
-    MlpSimulator sim(cfg, local, &locks);
+    MlpSimulator sim(cfg, local, locks ? &*locks : nullptr);
     std::optional<EpochLogWriter> epoch_log;
     if (spec.epochLog) {
         epoch_log.emplace(*spec.epochLog);
@@ -140,23 +168,25 @@ Runner::run(const RunSpec &spec, const Trace *prebuilt)
     }
 
     // ---- warm, reset, measure ----
-    uint64_t warmup_end = std::min<uint64_t>(spec.warmupInsts,
-                                             trace.size());
-    sim.process(trace, 0, warmup_end, false);
+    TraceCursor cur(source);
+    sim.process(cur, 0, spec.warmupInsts, false);
+    uint64_t warmup_end = sim.position(); // min(warmup, stream length)
     local.resetStats();
     bus.resetStats();
 
-    sim.process(trace, warmup_end, trace.size(), true);
+    sim.process(cur, warmup_end, ~uint64_t{0}, true);
+    uint64_t end_idx = sim.position();
     RunOutput out;
     out.sim = sim.takeResult();
 
     // ---- Table 1 style rates over the measured records ----
     uint64_t stores = 0;
-    for (uint64_t i = warmup_end; i < trace.size(); ++i) {
-        if (isStoreClass(trace[i].cls))
-            ++stores;
-    }
-    uint64_t measured = trace.size() - warmup_end;
+    uint64_t measured =
+        forEachRecord(source, warmup_end, end_idx,
+                      [&](const TraceRecord &r) {
+                          if (isStoreClass(r.cls))
+                              ++stores;
+                      });
     if (measured) {
         double n = static_cast<double>(measured);
         out.storesPer100 = 100.0 * static_cast<double>(stores) / n;

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 
 #include <string>
@@ -23,6 +24,7 @@
 #include "core/sim_result.hh"
 #include "stats/registry.hh"
 #include "trace/trace.hh"
+#include "trace/trace_source.hh"
 #include "trace/workload.hh"
 
 namespace storemlp
@@ -130,13 +132,20 @@ class Runner
 {
   public:
     /**
-     * Run one full epoch-model experiment. With no `prebuilt` trace
-     * the spec's trace is generated on the fly; otherwise `prebuilt`
-     * must be the result of `buildTrace` for an equivalent spec —
-     * i.e. already rewritten for the spec's memory model. The trace
-     * is shared immutably: concurrent runs may pass the same object,
-     * which is how the sweep engine amortizes generation across
-     * configurations.
+     * Run one full epoch-model experiment against a record stream.
+     * `source` must already reflect the spec's memory model (i.e. be
+     * the stream `buildTrace`/`makeSource` would produce). This is the
+     * primary entry point: resident trace memory is O(chunk) for
+     * streaming sources, and a MaterializedSource reproduces the
+     * historical whole-trace behavior bit for bit.
+     */
+    static RunOutput run(const RunSpec &spec, TraceSource &source);
+
+    /**
+     * Deprecated shim over the TraceSource entry point (wraps the
+     * trace in a MaterializedSource; generates via buildTrace when
+     * null). Kept for one release so out-of-tree callers migrate
+     * mechanically; slated for deletion.
      */
     static RunOutput run(const RunSpec &spec,
                          const Trace *prebuilt = nullptr);
@@ -147,6 +156,18 @@ class Runner
      * rewrite when the spec's config uses weak consistency.
      */
     static Trace buildTrace(const RunSpec &spec);
+
+    /**
+     * Streaming equivalent of buildTrace: compose the spec's stream
+     * (generator, then PC->WC rewrite when the spec uses weak
+     * consistency) without materializing it. `chunk_insts` 0 means
+     * the default chunk size. With `chunk_cache`, the composed source
+     * is fronted by a CachedSource keyed off traceCacheKey(spec) so
+     * concurrent sweep workers share chunk production.
+     */
+    static std::unique_ptr<TraceSource>
+    makeSource(const RunSpec &spec, uint64_t chunk_insts = 0,
+               TraceCache *chunk_cache = nullptr);
 
     /**
      * Cache key identifying `buildTrace(spec)`'s output: everything

@@ -44,7 +44,7 @@ MlpSimulator::scoutEligible(TermCond cond) const
 }
 
 void
-MlpSimulator::runScout(const Trace &trace)
+MlpSimulator::runScout(TraceCursor &cur)
 {
     if (_collect)
         ++_res.scoutEntries;
@@ -57,20 +57,20 @@ MlpSimulator::runScout(const Trace &trace)
         static_cast<uint64_t>(remaining / std::max(0.1, _cfg.cpiOnChip));
     bool stores = _cfg.scout == ScoutMode::Hws1 ||
         _cfg.scout == ScoutMode::Hws2;
-    lookahead(trace, _i, budget, stores, false);
+    lookahead(cur, _i, budget, stores, false);
 }
 
 void
-MlpSimulator::runSerializeLookahead(const Trace &trace)
+MlpSimulator::runSerializeLookahead(TraceCursor &cur)
 {
     // "The number of loads and stores that can be prefetched is
     // limited by the size of the reorder buffer since the casa and
     // isync instructions usually hold up instruction retirement."
-    lookahead(trace, _i + 1, _cfg.robSize, true, false);
+    lookahead(cur, _i + 1, _cfg.robSize, true, false);
 }
 
 void
-MlpSimulator::lookahead(const Trace &trace, uint64_t start,
+MlpSimulator::lookahead(TraceCursor &cur, uint64_t start,
                         uint64_t budget, bool prefetch_stores,
                         bool train_predictor)
 {
@@ -78,9 +78,11 @@ MlpSimulator::lookahead(const Trace &trace, uint64_t start,
                            // same predictor state)
     RegPoison scratch = _poison;
 
-    uint64_t end = trace.size();
-    for (uint64_t j = start; j < end && budget > 0; ++j, --budget) {
-        const TraceRecord &r = trace[j];
+    for (uint64_t j = start; budget > 0; ++j, --budget) {
+        const TraceRecord *rp = cur.tryAt(j);
+        if (!rp)
+            break; // end of stream bounds the lookahead
+        const TraceRecord &r = *rp;
 
         // Frontend: a missing instruction fetch is prefetched (the
         // access installs the line) but stops the scout.

@@ -78,6 +78,15 @@ RunOutput
 SweepEngine::runOnce(const RunSpec &spec, bool *hit)
 {
     *hit = false;
+    if (_opts.streaming && !_opts.runOverride) {
+        // O(chunk) resident memory per worker. Chunk-level sharing
+        // happens inside the CachedSource, so the per-run `hit` flag
+        // stays false; hits are visible in the cache stats instead.
+        std::unique_ptr<TraceSource> src = Runner::makeSource(
+            spec, _opts.chunkInsts,
+            _opts.useTraceCache ? _cache : nullptr);
+        return Runner::run(spec, *src);
+    }
     if (_opts.useTraceCache && _cache) {
         std::shared_ptr<const Trace> trace = _cache->getOrBuild(
             Runner::traceCacheKey(spec),

@@ -45,6 +45,17 @@ struct SweepOptions
     /** Share input traces across runs via the trace cache. */
     bool useTraceCache = true;
     /**
+     * Execute runs against a streaming source (Runner::makeSource)
+     * instead of a materialized whole trace: resident trace memory is
+     * O(chunk) per worker, and with the trace cache enabled workers
+     * share decoded *chunks* rather than whole traces. Results are
+     * bit-identical to the materialized path. `runOverride` always
+     * takes the materialized path (it is Trace-shaped).
+     */
+    bool streaming = false;
+    /** Chunk size (instructions) for streaming runs; 0 = default. */
+    uint64_t chunkInsts = 0;
+    /**
      * Attempts per run (>= 1). Values above 1 retry a throwing run —
      * bounded containment for transient failures (a cache build that
      * lost a race with eviction, an I/O hiccup). Deterministic faults

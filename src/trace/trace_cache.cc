@@ -5,8 +5,10 @@
 
 #include "trace/trace_cache.hh"
 
+#include <tuple>
 #include <utility>
 
+#include "trace/trace_source.hh"
 #include "util/parse.hh"
 
 namespace storemlp
@@ -35,8 +37,38 @@ std::shared_ptr<const Trace>
 TraceCache::getOrBuild(const std::string &key, const Builder &build,
                        bool *was_hit)
 {
-    std::shared_future<std::shared_ptr<const Trace>> fut;
-    std::promise<std::shared_ptr<const Trace>> promise;
+    std::shared_ptr<const void> v = getOrBuildErased(
+        key,
+        [&]() -> std::pair<std::shared_ptr<const void>, uint64_t> {
+            auto trace = std::make_shared<const Trace>(build());
+            uint64_t bytes = trace->size() * sizeof(TraceRecord);
+            return {std::move(trace), bytes};
+        },
+        was_hit);
+    return std::static_pointer_cast<const Trace>(v);
+}
+
+std::shared_ptr<const TraceChunk>
+TraceCache::getOrBuildChunk(const std::string &key,
+                            const ChunkBuilder &build, bool *was_hit)
+{
+    std::shared_ptr<const void> v = getOrBuildErased(
+        key,
+        [&]() -> std::pair<std::shared_ptr<const void>, uint64_t> {
+            std::shared_ptr<const TraceChunk> chunk = build();
+            uint64_t bytes = chunk->bytes();
+            return {std::move(chunk), bytes};
+        },
+        was_hit);
+    return std::static_pointer_cast<const TraceChunk>(v);
+}
+
+std::shared_ptr<const void>
+TraceCache::getOrBuildErased(const std::string &key,
+                             const ErasedBuilder &build, bool *was_hit)
+{
+    std::shared_future<std::shared_ptr<const void>> fut;
+    std::promise<std::shared_ptr<const void>> promise;
     bool builder = false;
 
     {
@@ -64,9 +96,10 @@ TraceCache::getOrBuild(const std::string &key, const Builder &build,
         return fut.get(); // blocks while the first builder works
 
     // Build outside the lock so other keys proceed concurrently.
-    std::shared_ptr<const Trace> trace;
+    std::shared_ptr<const void> value;
+    uint64_t payload_bytes = 0;
     try {
-        trace = std::make_shared<const Trace>(build());
+        std::tie(value, payload_bytes) = build();
     } catch (...) {
         promise.set_exception(std::current_exception());
         std::lock_guard<std::mutex> lk(_mu);
@@ -77,17 +110,16 @@ TraceCache::getOrBuild(const std::string &key, const Builder &build,
         }
         throw;
     }
-    promise.set_value(trace);
+    promise.set_value(value);
 
     std::lock_guard<std::mutex> lk(_mu);
     auto it = _entries.find(key);
     if (it != _entries.end()) {
-        it->second.bytes =
-            trace->size() * sizeof(TraceRecord) + key.size();
+        it->second.bytes = payload_bytes + key.size();
         _stats.bytes += it->second.bytes;
         evictLocked();
     }
-    return trace;
+    return value;
 }
 
 void

@@ -1,12 +1,18 @@
 /**
  * @file
- * Keyed, thread-safe cache of immutable traces. A paper figure runs
- * 6-8 configurations against the *same* workload trace (same profile,
- * seed, length, and memory-model rewrite); regenerating it per run is
- * the dominant redundant work in a sweep. The cache builds each
- * distinct trace exactly once — concurrent requesters for the same key
- * block on the first builder — and hands out shared immutable
+ * Keyed, thread-safe cache of immutable trace data. A paper figure
+ * runs 6-8 configurations against the *same* workload trace (same
+ * profile, seed, length, and memory-model rewrite); regenerating it
+ * per run is the dominant redundant work in a sweep. The cache builds
+ * each distinct entry exactly once — concurrent requesters for the
+ * same key block on the first builder — and hands out shared immutable
  * references, so worker threads never copy or mutate trace data.
+ *
+ * Two entry kinds share one keyed store and one byte budget: whole
+ * traces (`getOrBuild`, the materialized path) and decoded streaming
+ * chunks (`getOrBuildChunk`, keyed fingerprint + "#c" + chunk index by
+ * CachedSource) so parallel sweep workers share chunk decodes the way
+ * they share whole traces.
  */
 
 #ifndef STOREMLP_TRACE_TRACE_CACHE_HH
@@ -43,10 +49,13 @@ struct TraceCacheStats
  * budget (`STOREMLP_TRACE_CACHE_MB`, default 2048) is exceeded;
  * outstanding shared_ptrs keep evicted traces alive until released.
  */
+class TraceChunk;
+
 class TraceCache
 {
   public:
     using Builder = std::function<Trace()>;
+    using ChunkBuilder = std::function<std::shared_ptr<const TraceChunk>()>;
 
     explicit TraceCache(uint64_t max_bytes = defaultMaxBytes());
 
@@ -59,6 +68,15 @@ class TraceCache
     std::shared_ptr<const Trace> getOrBuild(const std::string &key,
                                             const Builder &build,
                                             bool *was_hit = nullptr);
+
+    /**
+     * Same contract for one decoded chunk of a streaming source. The
+     * builder must not return nullptr — CachedSource encodes
+     * end-of-stream as an empty chunk so the length itself is cached.
+     */
+    std::shared_ptr<const TraceChunk>
+    getOrBuildChunk(const std::string &key, const ChunkBuilder &build,
+                    bool *was_hit = nullptr);
 
     /** Drop every completed entry (in-flight builds finish normally). */
     void clear();
@@ -73,12 +91,22 @@ class TraceCache
     static TraceCache &global();
 
   private:
+    // Entries are type-erased so traces and chunks share one LRU and
+    // one byte budget; the typed getOrBuild* fronts restore the type.
     struct Entry
     {
-        std::shared_future<std::shared_ptr<const Trace>> future;
+        std::shared_future<std::shared_ptr<const void>> future;
         uint64_t bytes = 0;                ///< 0 until the build lands
         std::list<std::string>::iterator lruIt;
     };
+
+    /** Builder returns (value, payload bytes); key bytes are added. */
+    using ErasedBuilder =
+        std::function<std::pair<std::shared_ptr<const void>, uint64_t>()>;
+
+    std::shared_ptr<const void>
+    getOrBuildErased(const std::string &key, const ErasedBuilder &build,
+                     bool *was_hit);
 
     void touchLocked(Entry &entry, const std::string &key);
     void evictLocked();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * On-disk trace format internals shared by the whole-trace reader
+ * (trace_io.cc) and the streaming chunk reader (trace_file_source.cc).
+ *
+ * Three containers share one record vocabulary:
+ *  v1 ("SMLPTRC1"): u64 count, then fixed 22-byte LE records.
+ *  v2 ("SMLPTRC2"): u64 count, then delta-compressed records — a
+ *      control byte (class + presence bits), zigzag-varint pc deltas
+ *      (sequential pcs are free), varint addresses, register/flag
+ *      bytes only when non-zero. Decoding is stateful: each record's
+ *      pc is relative to the previous record's.
+ *  v3 ("SMLPTRC3"): a metadata envelope — body-format byte (1 or 2),
+ *      u32 fingerprint length + fingerprint string, u64 count, then a
+ *      v1 or v2 body. The fingerprint identifies the trace bytes
+ *      (profile/seed/length/rewrite) so tools can report provenance
+ *      from the header alone.
+ */
+
+#ifndef STOREMLP_TRACE_TRACE_FORMAT_HH
+#define STOREMLP_TRACE_TRACE_FORMAT_HH
+
+#include <cstdint>
+
+namespace storemlp::trace_format
+{
+
+inline constexpr char kMagicV1[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C',
+                                     '1'};
+inline constexpr char kMagicV2[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C',
+                                     '2'};
+inline constexpr char kMagicV3[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C',
+                                     '3'};
+inline constexpr uint64_t kMagicBytes = 8;
+inline constexpr uint64_t kRecordBytesV1 = 22;
+/** Fingerprint strings longer than this are rejected as corrupt. */
+inline constexpr uint64_t kMaxMetaBytes = 4096;
+
+// v2 control byte layout: bits 0-3 class, bit 4 pc==prev+4,
+// bit 5 register/size block present, bit 6 flags byte present.
+inline constexpr uint8_t kCtrlSeqPc = 1 << 4;
+inline constexpr uint8_t kCtrlRegs = 1 << 5;
+inline constexpr uint8_t kCtrlFlags = 1 << 6;
+
+inline void
+putU64(uint8_t *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline void
+putU32(uint8_t *p, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+        static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+} // namespace storemlp::trace_format
+
+#endif // STOREMLP_TRACE_TRACE_FORMAT_HH

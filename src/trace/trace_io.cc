@@ -1,11 +1,15 @@
 /**
  * @file
- * Binary trace serialization. Two on-disk formats:
+ * Binary trace serialization. Three on-disk containers (see
+ * trace_format.hh for the byte-level layout):
  *  v1 ("SMLPTRC1"): fixed 22-byte little-endian records.
  *  v2 ("SMLPTRC2"): delta-compressed — a control byte per record
  *      (class + presence bits), zigzag-varint pc deltas (sequential
  *      pcs are free), varint addresses, and register/flag bytes only
- *      when non-zero. readTrace() auto-detects the format.
+ *      when non-zero.
+ *  v3 ("SMLPTRC3"): metadata envelope (body format + provenance
+ *      fingerprint + count) around a v1 or v2 body.
+ * readTrace() auto-detects the container by magic.
  */
 
 #include "trace/trace_io.hh"
@@ -18,33 +22,15 @@
 #include <optional>
 #include <ostream>
 
+#include "trace/trace_format.hh"
+
 namespace storemlp
 {
 
 namespace
 {
 
-constexpr char kMagicV1[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C', '1'};
-constexpr char kMagicV2[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C', '2'};
-constexpr size_t kRecordBytes = 22;
-
-void
-putU64(uint8_t *p, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        p[i] = static_cast<uint8_t>(v >> (8 * i));
-}
-
-uint64_t
-getU64(const uint8_t *p)
-{
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<uint64_t>(p[i]) << (8 * i);
-    return v;
-}
-
-// ---- v2 helpers ----
+using namespace trace_format;
 
 void
 putVarint(std::ostream &os, uint64_t v)
@@ -71,37 +57,18 @@ getVarint(std::istream &is)
     throw TraceFormatError("overlong varint");
 }
 
-uint64_t
-zigzag(int64_t v)
+void
+writeCountHeader(std::ostream &os, uint64_t count)
 {
-    return (static_cast<uint64_t>(v) << 1) ^
-        static_cast<uint64_t>(v >> 63);
+    uint8_t hdr[8];
+    putU64(hdr, count);
+    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
 }
-
-int64_t
-unzigzag(uint64_t v)
-{
-    return static_cast<int64_t>(v >> 1) ^
-        -static_cast<int64_t>(v & 1);
-}
-
-// v2 control byte layout: bits 0-3 class, bit 4 pc==prev+4,
-// bit 5 register/size block present, bit 6 flags byte present.
-constexpr uint8_t kCtrlSeqPc = 1 << 4;
-constexpr uint8_t kCtrlRegs = 1 << 5;
-constexpr uint8_t kCtrlFlags = 1 << 6;
-
-} // namespace
 
 void
-writeTrace(std::ostream &os, const Trace &trace)
+writeV1Body(std::ostream &os, const Trace &trace)
 {
-    os.write(kMagicV1, sizeof(kMagicV1));
-    uint8_t hdr[8];
-    putU64(hdr, trace.size());
-    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
-
-    std::array<uint8_t, kRecordBytes> buf;
+    std::array<uint8_t, kRecordBytesV1> buf;
     for (const auto &r : trace.records()) {
         putU64(buf.data(), r.pc);
         putU64(buf.data() + 8, r.addr);
@@ -116,13 +83,8 @@ writeTrace(std::ostream &os, const Trace &trace)
 }
 
 void
-writeTraceCompressed(std::ostream &os, const Trace &trace)
+writeV2Body(std::ostream &os, const Trace &trace)
 {
-    os.write(kMagicV2, sizeof(kMagicV2));
-    uint8_t hdr[8];
-    putU64(hdr, trace.size());
-    os.write(reinterpret_cast<const char *>(hdr), sizeof(hdr));
-
     uint64_t prev_pc = 0;
     for (const auto &r : trace.records()) {
         bool seq = r.pc == prev_pc + 4;
@@ -155,6 +117,48 @@ writeTraceCompressed(std::ostream &os, const Trace &trace)
     }
 }
 
+} // namespace
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagicV1, kMagicBytes);
+    writeCountHeader(os, trace.size());
+    writeV1Body(os, trace);
+}
+
+void
+writeTraceCompressed(std::ostream &os, const Trace &trace)
+{
+    os.write(kMagicV2, kMagicBytes);
+    writeCountHeader(os, trace.size());
+    writeV2Body(os, trace);
+}
+
+void
+writeTraceV3(std::ostream &os, const Trace &trace,
+             const std::string &fingerprint, bool compressed)
+{
+    if (fingerprint.size() > kMaxMetaBytes) {
+        throw TraceFormatError("trace fingerprint length " +
+                               std::to_string(fingerprint.size()) +
+                               " exceeds limit " +
+                               std::to_string(kMaxMetaBytes));
+    }
+    os.write(kMagicV3, kMagicBytes);
+    os.put(static_cast<char>(compressed ? 2 : 1));
+    uint8_t len[4];
+    putU32(len, static_cast<uint32_t>(fingerprint.size()));
+    os.write(reinterpret_cast<const char *>(len), sizeof(len));
+    os.write(fingerprint.data(),
+             static_cast<std::streamsize>(fingerprint.size()));
+    writeCountHeader(os, trace.size());
+    if (compressed)
+        writeV2Body(os, trace);
+    else
+        writeV1Body(os, trace);
+}
+
 namespace
 {
 
@@ -184,6 +188,17 @@ remainingBytes(std::istream &is)
     return static_cast<uint64_t>(end - cur);
 }
 
+void
+throwCountExceedsCapacity(uint64_t count, uint64_t remaining,
+                          uint64_t min_record_bytes)
+{
+    throw TraceFormatError(
+        "trace header count " + std::to_string(count) +
+        " exceeds stream capacity (" + std::to_string(remaining) +
+        " bytes remain, >= " + std::to_string(min_record_bytes) +
+        " bytes per record)");
+}
+
 /**
  * Validate an untrusted header record count against the bytes that
  * actually remain (each record occupies at least `min_record_bytes`)
@@ -196,31 +211,30 @@ checkedReserve(std::istream &is, uint64_t count,
 {
     std::optional<uint64_t> remaining = remainingBytes(is);
     if (remaining) {
-        if (count > *remaining / min_record_bytes) {
-            throw TraceFormatError(
-                "trace header count " + std::to_string(count) +
-                " exceeds stream capacity (" +
-                std::to_string(*remaining) + " bytes remain, >= " +
-                std::to_string(min_record_bytes) +
-                " bytes per record)");
-        }
+        if (count > *remaining / min_record_bytes)
+            throwCountExceedsCapacity(count, *remaining,
+                                      min_record_bytes);
         return count;
     }
     return std::min(count, kMaxBlindReserve);
 }
 
-Trace
-readTraceV1(std::istream &is)
+uint64_t
+readCountHeader(std::istream &is)
 {
     uint8_t hdr[8];
     is.read(reinterpret_cast<char *>(hdr), sizeof(hdr));
     if (!is)
         throw TraceFormatError("truncated trace header");
-    uint64_t count = getU64(hdr);
+    return getU64(hdr);
+}
 
+Trace
+readV1Body(std::istream &is, uint64_t count)
+{
     std::vector<TraceRecord> records;
-    records.reserve(checkedReserve(is, count, kRecordBytes));
-    std::array<uint8_t, kRecordBytes> buf;
+    records.reserve(checkedReserve(is, count, kRecordBytesV1));
+    std::array<uint8_t, kRecordBytesV1> buf;
     for (uint64_t i = 0; i < count; ++i) {
         is.read(reinterpret_cast<char *>(buf.data()), buf.size());
         if (!is)
@@ -242,14 +256,8 @@ readTraceV1(std::istream &is)
 }
 
 Trace
-readTraceV2(std::istream &is)
+readV2Body(std::istream &is, uint64_t count)
 {
-    uint8_t hdr[8];
-    is.read(reinterpret_cast<char *>(hdr), sizeof(hdr));
-    if (!is)
-        throw TraceFormatError("truncated trace header");
-    uint64_t count = getU64(hdr);
-
     std::vector<TraceRecord> records;
     // v2 records are at least the control byte.
     records.reserve(checkedReserve(is, count, 1));
@@ -296,19 +304,64 @@ readTraceV2(std::istream &is)
     return Trace(std::move(records));
 }
 
+/** v3 envelope after the magic: body format + fingerprint. */
+struct V3Header
+{
+    uint32_t bodyFormat = 0;
+    std::string fingerprint;
+};
+
+V3Header
+readV3Header(std::istream &is)
+{
+    V3Header h;
+    int fmt = is.get();
+    if (fmt == EOF)
+        throw TraceFormatError("truncated trace header");
+    if (fmt != 1 && fmt != 2) {
+        throw TraceFormatError("unknown v3 body format " +
+                               std::to_string(fmt));
+    }
+    h.bodyFormat = static_cast<uint32_t>(fmt);
+
+    uint8_t len_buf[4];
+    is.read(reinterpret_cast<char *>(len_buf), sizeof(len_buf));
+    if (!is)
+        throw TraceFormatError("truncated trace header");
+    uint32_t len = getU32(len_buf);
+    if (len > kMaxMetaBytes) {
+        throw TraceFormatError("trace metadata length " +
+                               std::to_string(len) + " exceeds limit " +
+                               std::to_string(kMaxMetaBytes));
+    }
+    h.fingerprint.resize(len);
+    if (len) {
+        is.read(h.fingerprint.data(), len);
+        if (!is)
+            throw TraceFormatError("truncated trace header");
+    }
+    return h;
+}
+
 } // namespace
 
 Trace
 readTrace(std::istream &is)
 {
-    char magic[8];
+    char magic[kMagicBytes];
     is.read(magic, sizeof(magic));
     if (!is)
         throw TraceFormatError("bad trace magic");
-    if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0)
-        return readTraceV1(is);
-    if (std::memcmp(magic, kMagicV2, sizeof(kMagicV2)) == 0)
-        return readTraceV2(is);
+    if (std::memcmp(magic, kMagicV1, kMagicBytes) == 0)
+        return readV1Body(is, readCountHeader(is));
+    if (std::memcmp(magic, kMagicV2, kMagicBytes) == 0)
+        return readV2Body(is, readCountHeader(is));
+    if (std::memcmp(magic, kMagicV3, kMagicBytes) == 0) {
+        V3Header h = readV3Header(is);
+        uint64_t count = readCountHeader(is);
+        return h.bodyFormat == 2 ? readV2Body(is, count)
+                                 : readV1Body(is, count);
+    }
     throw TraceFormatError("bad trace magic");
 }
 
@@ -334,6 +387,18 @@ writeTraceCompressedFile(const std::string &path, const Trace &trace)
         throw TraceFormatError("write failed: " + path);
 }
 
+void
+writeTraceFileV3(const std::string &path, const Trace &trace,
+                 const std::string &fingerprint, bool compressed)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        throw TraceFormatError("cannot open for write: " + path);
+    writeTraceV3(ofs, trace, fingerprint, compressed);
+    if (!ofs)
+        throw TraceFormatError("write failed: " + path);
+}
+
 Trace
 readTraceFile(const std::string &path)
 {
@@ -341,6 +406,51 @@ readTraceFile(const std::string &path)
     if (!ifs)
         throw TraceFormatError("cannot open for read: " + path);
     return readTrace(ifs);
+}
+
+TraceFileInfo
+probeTraceFile(const std::string &path)
+{
+    std::ifstream ifs(path, std::ios::binary);
+    if (!ifs)
+        throw TraceFormatError("cannot open for read: " + path);
+
+    TraceFileInfo info;
+    char magic[kMagicBytes];
+    ifs.read(magic, sizeof(magic));
+    if (!ifs)
+        throw TraceFormatError("bad trace magic");
+    if (std::memcmp(magic, kMagicV1, kMagicBytes) == 0) {
+        info.version = 1;
+        info.bodyFormat = 1;
+    } else if (std::memcmp(magic, kMagicV2, kMagicBytes) == 0) {
+        info.version = 2;
+        info.bodyFormat = 2;
+    } else if (std::memcmp(magic, kMagicV3, kMagicBytes) == 0) {
+        info.version = 3;
+        V3Header h = readV3Header(ifs);
+        info.bodyFormat = h.bodyFormat;
+        info.fingerprint = std::move(h.fingerprint);
+    } else {
+        throw TraceFormatError("bad trace magic");
+    }
+    info.records = readCountHeader(ifs);
+
+    // Validate the untrusted count against the bytes actually present,
+    // exactly like the full reader would before reserving memory.
+    uint64_t min_bytes = info.bodyFormat == 1 ? kRecordBytesV1 : 1;
+    std::optional<uint64_t> remaining = remainingBytes(ifs);
+    if (remaining && info.records > *remaining / min_bytes)
+        throwCountExceedsCapacity(info.records, *remaining, min_bytes);
+
+    std::istream::pos_type cur = ifs.tellg();
+    ifs.seekg(0, std::ios::end);
+    std::istream::pos_type end = ifs.tellg();
+    if (cur != std::istream::pos_type(-1) &&
+        end != std::istream::pos_type(-1)) {
+        info.fileBytes = static_cast<uint64_t>(end);
+    }
+    return info;
 }
 
 } // namespace storemlp

@@ -40,11 +40,39 @@ void writeTraceCompressed(std::ostream &os, const Trace &trace);
 void writeTraceCompressedFile(const std::string &path,
                               const Trace &trace);
 
-/** Deserialize a trace (auto-detects v1/v2 by magic).
+/**
+ * Serialize in the v3 container: a metadata envelope (body format +
+ * provenance fingerprint) followed by a v1 or v2 record body. Tools
+ * read the count and fingerprint from the header without decoding a
+ * single record.
+ */
+void writeTraceV3(std::ostream &os, const Trace &trace,
+                  const std::string &fingerprint, bool compressed);
+void writeTraceFileV3(const std::string &path, const Trace &trace,
+                      const std::string &fingerprint, bool compressed);
+
+/** Deserialize a trace (auto-detects v1/v2/v3 by magic).
  *  Throws TraceFormatError. */
 Trace readTrace(std::istream &is);
 /** Deserialize a trace from a file (auto-detects format). */
 Trace readTraceFile(const std::string &path);
+
+/** Header-level description of an on-disk trace (no record decode). */
+struct TraceFileInfo
+{
+    uint32_t version = 0;    ///< container: 1, 2, or 3
+    uint32_t bodyFormat = 0; ///< record encoding: 1 fixed, 2 compressed
+    uint64_t records = 0;
+    uint64_t fileBytes = 0;
+    std::string fingerprint; ///< provenance (v3 only; else empty)
+};
+
+/**
+ * Read a trace file's header only: O(header) work regardless of trace
+ * length. Validates the record count against the file size. Throws
+ * TraceFormatError on malformed headers.
+ */
+TraceFileInfo probeTraceFile(const std::string &path);
 
 } // namespace storemlp
 

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * TraceSource implementations: cursor slow path, materialized views,
+ * on-the-fly generation, and the shared chunk cache front.
+ */
+
+#include "trace/trace_source.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace storemlp
+{
+
+// ---------------------------------------------------------------------
+// TraceCursor
+// ---------------------------------------------------------------------
+
+const TraceRecord *
+TraceCursor::slowAt(uint64_t idx)
+{
+    if (_end && idx >= *_end)
+        return nullptr;
+    uint64_t k = idx / _chunk;
+
+    std::shared_ptr<const TraceChunk> c;
+    auto it = _held.find(k);
+    if (it != _held.end()) {
+        c = it->second;
+    } else {
+        c = _src.fetch(k);
+        if (!c)
+            return nullptr;
+        if (c->count < _chunk) // partial chunk: the stream ends here
+            _end = c->firstIdx + c->count;
+        _held.emplace(k, c);
+    }
+
+    if (idx - c->firstIdx >= c->count) {
+        _end = c->firstIdx + c->count;
+        return nullptr;
+    }
+    _curFirst = c->firstIdx;
+    _curCount = c->count;
+    _curData = c->data;
+    return c->data + (idx - c->firstIdx);
+}
+
+// ---------------------------------------------------------------------
+// MaterializedSource
+// ---------------------------------------------------------------------
+
+std::shared_ptr<const TraceChunk>
+MaterializedSource::fetch(uint64_t chunk_idx)
+{
+    uint64_t first = chunk_idx * _chunkInsts;
+    uint64_t size = _trace->size();
+    if (first >= size)
+        return nullptr;
+    uint64_t n = std::min<uint64_t>(_chunkInsts, size - first);
+    return std::make_shared<const TraceChunk>(
+        first, _trace->records().data() + first, n, _owned);
+}
+
+// ---------------------------------------------------------------------
+// GeneratorSource
+// ---------------------------------------------------------------------
+
+GeneratorSource::GeneratorSource(const WorkloadProfile &profile,
+                                 uint64_t seed, uint64_t count,
+                                 uint32_t chip_id, uint64_t chunk_insts)
+    : TraceSource(chunk_insts), _profile(profile), _seed(seed),
+      _count(count), _chipId(chip_id)
+{
+    restart();
+}
+
+void
+GeneratorSource::restart()
+{
+    _gen.emplace(_profile, _seed, _chipId);
+    _pending.clear();
+    _generated = 0;
+    _emitted = 0;
+    _nextChunk = 0;
+    _genDone = _count == 0;
+}
+
+std::shared_ptr<const TraceChunk>
+GeneratorSource::produceNext()
+{
+    // Top up the pending buffer one generator request at a time. Each
+    // request asks for exactly min(space, count - generated), so the
+    // generator stops at the same slot boundary as a single
+    // generate(count) call would — the chunked stream is bit-identical
+    // to the materialized one, overshoot included.
+    while (!_genDone && _pending.size() < _chunkInsts) {
+        uint64_t want = std::min<uint64_t>(
+            _chunkInsts - _pending.size(), _count - _generated);
+        Trace t;
+        _gen->generateInto(t, want);
+        _generated += t.size();
+        _pending.insert(_pending.end(), t.records().begin(),
+                        t.records().end());
+        if (_generated >= _count)
+            _genDone = true;
+    }
+
+    if (_pending.empty())
+        return nullptr;
+    uint64_t take = std::min<uint64_t>(_chunkInsts, _pending.size());
+    std::vector<TraceRecord> recs(_pending.begin(),
+                                  _pending.begin() +
+                                      static_cast<ptrdiff_t>(take));
+    _pending.erase(_pending.begin(),
+                   _pending.begin() + static_cast<ptrdiff_t>(take));
+    auto chunk =
+        std::make_shared<const TraceChunk>(_emitted, std::move(recs));
+    _emitted += take;
+    ++_nextChunk;
+    return chunk;
+}
+
+std::shared_ptr<const TraceChunk>
+GeneratorSource::fetch(uint64_t chunk_idx)
+{
+    if (chunk_idx < _nextChunk)
+        restart(); // backward fetch: deterministic replay from seed
+    std::shared_ptr<const TraceChunk> c;
+    while (_nextChunk <= chunk_idx) {
+        c = produceNext();
+        if (!c)
+            return nullptr;
+    }
+    return c;
+}
+
+std::optional<uint64_t>
+GeneratorSource::knownSize() const
+{
+    // The generator stops at the first slot boundary >= count, so the
+    // total is only known once the stop slot has been emitted.
+    if (_genDone)
+        return _generated;
+    return std::nullopt;
+}
+
+std::string
+GeneratorSource::fingerprint() const
+{
+    std::ostringstream os;
+    os << _profile.cacheKey() << "|seed=" << _seed << "|n=" << _count
+       << "|wc=0|chip=" << _chipId;
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// CachedSource
+// ---------------------------------------------------------------------
+
+CachedSource::CachedSource(std::unique_ptr<TraceSource> inner,
+                           TraceCache &cache, std::string key_base)
+    : TraceSource(inner->chunkInsts()), _inner(std::move(inner)),
+      _cache(cache), _keyBase(std::move(key_base))
+{
+    if (_keyBase.empty())
+        _keyBase = _inner->fingerprint();
+    if (_keyBase.empty()) {
+        throw std::invalid_argument(
+            "CachedSource: inner source has no fingerprint and no key "
+            "base was given");
+    }
+}
+
+std::shared_ptr<const TraceChunk>
+CachedSource::fetch(uint64_t chunk_idx)
+{
+    std::string key = _keyBase + "#c" + std::to_string(chunk_idx);
+    std::shared_ptr<const TraceChunk> c = _cache.getOrBuildChunk(
+        key, [&]() -> std::shared_ptr<const TraceChunk> {
+            std::lock_guard<std::mutex> lk(_mu);
+            std::shared_ptr<const TraceChunk> inner =
+                _inner->fetch(chunk_idx);
+            if (inner)
+                return inner;
+            // Cache end-of-stream as an empty chunk so every worker
+            // learns the stream length without touching the inner
+            // source again.
+            return std::make_shared<const TraceChunk>(
+                chunk_idx * _chunkInsts, std::vector<TraceRecord>{});
+        });
+    return c->count ? c : nullptr;
+}
+
+std::optional<uint64_t>
+CachedSource::knownSize() const
+{
+    std::lock_guard<std::mutex> lk(_mu);
+    return _inner->knownSize();
+}
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+Trace
+materializeSource(TraceSource &src)
+{
+    std::vector<TraceRecord> records;
+    if (std::optional<uint64_t> n = src.knownSize())
+        records.reserve(*n);
+    forEachRecord(src, 0, ~uint64_t{0},
+                  [&](const TraceRecord &r) { records.push_back(r); });
+    return Trace(std::move(records));
+}
+
+} // namespace storemlp

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Streaming trace pipeline: the TraceSource abstraction and its chunk
+ * cursor. A TraceSource hands out fixed-size immutable chunks of
+ * TraceRecords on demand, so consumers (the epoch engine, the lock
+ * detector, the Table-1 tallies) hold O(chunk) records resident
+ * instead of materializing a whole trace vector:
+ *
+ *   MaterializedSource  zero-copy chunk views over an in-memory Trace
+ *                       (the compatibility path; identical behavior).
+ *   GeneratorSource     synthesizes chunks on the fly from a workload
+ *                       profile — sweeps over generated traces never
+ *                       materialize at all.
+ *   StreamingFileSource mmap-backed on-disk traces decoded chunk by
+ *                       chunk (trace_file_source.hh).
+ *   WcRewriteSource     streaming PC->WC rewrite of an inner source
+ *                       (rewriter.hh).
+ *   CachedSource        routes chunk construction through a shared
+ *                       TraceCache keyed by (fingerprint, chunk index)
+ *                       so parallel sweep workers share chunk decodes.
+ *
+ * Chunking is an execution detail, never a semantic one: any chunk
+ * size yields the identical record stream, and the equivalence suite
+ * (tests/test_trace_source.cc) holds every source to bit-identical
+ * results against the materialized path.
+ */
+
+#ifndef STOREMLP_TRACE_TRACE_SOURCE_HH
+#define STOREMLP_TRACE_TRACE_SOURCE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+#include "trace/trace.hh"
+#include "trace/trace_cache.hh"
+
+namespace storemlp
+{
+
+/** Default records per chunk (64K records ~= 2 MB resident). */
+inline constexpr uint64_t kDefaultChunkInsts = uint64_t{1} << 16;
+
+/**
+ * One immutable run of consecutive trace records. Either owns its
+ * records (`storage`) or borrows a view into memory kept alive by
+ * `backing` (or, for MaterializedSource over a caller-owned Trace, by
+ * the caller's guarantee that the Trace outlives the chunk).
+ */
+class TraceChunk
+{
+  public:
+    /** Owning chunk: records are moved in. */
+    TraceChunk(uint64_t first_idx, std::vector<TraceRecord> records)
+        : firstIdx(first_idx), _storage(std::move(records))
+    {
+        data = _storage.data();
+        count = _storage.size();
+    }
+
+    /** Borrowed view; `backing` (if any) keeps the memory alive. */
+    TraceChunk(uint64_t first_idx, const TraceRecord *records,
+               uint64_t n, std::shared_ptr<const void> backing = nullptr)
+        : firstIdx(first_idx), data(records), count(n),
+          _backing(std::move(backing))
+    {
+    }
+
+    TraceChunk(const TraceChunk &) = delete;
+    TraceChunk &operator=(const TraceChunk &) = delete;
+
+    uint64_t firstIdx = 0;          ///< trace index of data[0]
+    const TraceRecord *data = nullptr;
+    uint64_t count = 0;
+
+    /** Approximate resident bytes (used for cache accounting). */
+    uint64_t bytes() const { return count * sizeof(TraceRecord); }
+
+  private:
+    std::vector<TraceRecord> _storage;
+    std::shared_ptr<const void> _backing;
+};
+
+/**
+ * A trace presented as a sequence of fixed-size chunks.
+ *
+ * Contract:
+ *  - every chunk except the last holds exactly `chunkInsts()` records;
+ *  - `fetch(k)` returns chunk k, or nullptr once k is past the end;
+ *  - chunks are immutable and remain valid while their shared_ptr (and
+ *    the source, for borrowed views) lives;
+ *  - sequential sources (generator, rewrite) may service a backward
+ *    fetch by restarting from scratch — correct, but O(n); random-
+ *    access sources (materialized, file) fetch any chunk in O(chunk).
+ *
+ * Implementations are single-threaded; wrap in CachedSource (which
+ * serializes inner fetches) to share one source across sweep workers.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    uint64_t chunkInsts() const { return _chunkInsts; }
+
+    /** Chunk `chunk_idx` of the stream; nullptr past the end. */
+    virtual std::shared_ptr<const TraceChunk> fetch(uint64_t chunk_idx)
+        = 0;
+
+    /**
+     * Total records, when already known (materialized/file sources, or
+     * a sequential source that has reached its end). nullopt means
+     * "walk the stream to find out".
+     */
+    virtual std::optional<uint64_t> knownSize() const = 0;
+
+    /**
+     * Identity of the record stream for chunk caching: everything that
+     * determines the bytes (profile fingerprint, seed, length,
+     * rewrite). Empty means "not cacheable".
+     */
+    virtual std::string fingerprint() const { return {}; }
+
+  protected:
+    explicit TraceSource(uint64_t chunk_insts)
+        : _chunkInsts(chunk_insts ? chunk_insts : kDefaultChunkInsts)
+    {
+    }
+
+    uint64_t _chunkInsts;
+};
+
+/**
+ * Sliding-window reader over a TraceSource: random access by absolute
+ * record index with an inline fast path for the chunk under the
+ * cursor. Holds every fetched chunk until `trim()` releases those
+ * wholly below the consumer's progress point, so lookahead (scout)
+ * can read forward without refetching and resident memory stays
+ * O(lookahead distance), not O(trace).
+ */
+class TraceCursor
+{
+  public:
+    explicit TraceCursor(TraceSource &src)
+        : _src(src), _chunk(src.chunkInsts()), _end(src.knownSize())
+    {
+    }
+
+    /** Record at `idx`, or nullptr once `idx` is past the end. */
+    const TraceRecord *
+    tryAt(uint64_t idx)
+    {
+        if (idx - _curFirst < _curCount)
+            return _curData + (idx - _curFirst);
+        return slowAt(idx);
+    }
+
+    /** Drop held chunks that end at or below `keep_from`. */
+    void
+    trim(uint64_t keep_from)
+    {
+        while (!_held.empty()) {
+            auto it = _held.begin();
+            uint64_t chunk_end =
+                it->second->firstIdx + it->second->count;
+            if (chunk_end > keep_from || it->second->data == _curData)
+                break;
+            _held.erase(it);
+        }
+    }
+
+    /** Stream length, once known (source metadata or end-of-stream). */
+    std::optional<uint64_t> endIdx() const { return _end; }
+
+  private:
+    const TraceRecord *slowAt(uint64_t idx);
+
+    TraceSource &_src;
+    uint64_t _chunk;
+
+    // fast path: the chunk most recently touched
+    uint64_t _curFirst = 0;
+    uint64_t _curCount = 0;
+    const TraceRecord *_curData = nullptr;
+
+    std::map<uint64_t, std::shared_ptr<const TraceChunk>> _held;
+    std::optional<uint64_t> _end;
+};
+
+/**
+ * Chunk views over an in-memory Trace: zero-copy, random access, and
+ * behaviorally identical to indexing the vector. When constructed
+ * from a shared_ptr the chunks keep the trace alive; when constructed
+ * from a reference the caller guarantees the Trace outlives them.
+ */
+class MaterializedSource : public TraceSource
+{
+  public:
+    explicit MaterializedSource(const Trace &trace,
+                                uint64_t chunk_insts = kDefaultChunkInsts,
+                                std::string fingerprint = {})
+        : TraceSource(chunk_insts), _trace(&trace),
+          _fingerprint(std::move(fingerprint))
+    {
+    }
+
+    explicit MaterializedSource(std::shared_ptr<const Trace> trace,
+                                uint64_t chunk_insts = kDefaultChunkInsts,
+                                std::string fingerprint = {})
+        : TraceSource(chunk_insts), _trace(trace.get()),
+          _owned(std::move(trace)), _fingerprint(std::move(fingerprint))
+    {
+    }
+
+    std::shared_ptr<const TraceChunk> fetch(uint64_t chunk_idx) override;
+    std::optional<uint64_t> knownSize() const override
+    {
+        return _trace->size();
+    }
+    std::string fingerprint() const override { return _fingerprint; }
+
+  private:
+    const Trace *_trace;
+    std::shared_ptr<const Trace> _owned;
+    std::string _fingerprint;
+};
+
+/**
+ * Synthesizes chunks on the fly from a workload profile. Emits the
+ * exact record stream of `SyntheticTraceGenerator::generate(count)` —
+ * including the generator's stop-at-slot-boundary overshoot — without
+ * ever materializing it: generation proceeds one chunk ahead of the
+ * consumer with O(chunk) carried state. Backward fetches restart the
+ * generator from the seed (deterministic, O(n)); front a CachedSource
+ * when revisiting chunks matters.
+ */
+class GeneratorSource : public TraceSource
+{
+  public:
+    GeneratorSource(const WorkloadProfile &profile, uint64_t seed,
+                    uint64_t count, uint32_t chip_id = 0,
+                    uint64_t chunk_insts = kDefaultChunkInsts);
+
+    std::shared_ptr<const TraceChunk> fetch(uint64_t chunk_idx) override;
+    std::optional<uint64_t> knownSize() const override;
+    std::string fingerprint() const override;
+
+  private:
+    void restart();
+    /** Produce chunk `_nextChunk`, or nullptr at end of stream. */
+    std::shared_ptr<const TraceChunk> produceNext();
+
+    WorkloadProfile _profile;
+    uint64_t _seed;
+    uint64_t _count;
+    uint32_t _chipId;
+
+    std::optional<SyntheticTraceGenerator> _gen;
+    std::vector<TraceRecord> _pending; ///< generated, not yet chunked
+    uint64_t _generated = 0;           ///< records emitted by _gen
+    uint64_t _emitted = 0;             ///< records handed out in chunks
+    uint64_t _nextChunk = 0;
+    bool _genDone = false;             ///< _gen reached its stop slot
+};
+
+/**
+ * Routes chunk construction of an inner source through a TraceCache,
+ * keyed `keyBase + "#c" + chunkIdx`, so concurrent consumers of the
+ * same stream (sweep workers) build/decode each chunk exactly once.
+ * Inner fetches are serialized under a mutex; cache lookups are not,
+ * so cache hits from N workers proceed concurrently. End-of-stream is
+ * cached as an empty chunk so every worker learns the length.
+ */
+class CachedSource : public TraceSource
+{
+  public:
+    /** `key_base` defaults to the inner source's fingerprint. */
+    CachedSource(std::unique_ptr<TraceSource> inner, TraceCache &cache,
+                 std::string key_base = {});
+
+    std::shared_ptr<const TraceChunk> fetch(uint64_t chunk_idx) override;
+    std::optional<uint64_t> knownSize() const override;
+    std::string fingerprint() const override { return _keyBase; }
+
+  private:
+    std::unique_ptr<TraceSource> _inner;
+    TraceCache &_cache;
+    std::string _keyBase;
+    mutable std::mutex _mu; ///< serializes inner fetches
+};
+
+/**
+ * Walk records [begin, end) of a source, invoking `fn(record)` for
+ * each; stops early at end-of-stream. Returns the number of records
+ * visited.
+ */
+template <typename Fn>
+uint64_t
+forEachRecord(TraceSource &src, uint64_t begin, uint64_t end, Fn &&fn)
+{
+    TraceCursor cur(src);
+    uint64_t i = begin;
+    for (; i < end; ++i) {
+        const TraceRecord *r = cur.tryAt(i);
+        if (!r)
+            break;
+        fn(*r);
+        cur.trim(i);
+    }
+    return i - begin;
+}
+
+/** Materialize a whole source into a Trace (tests, small inputs). */
+Trace materializeSource(TraceSource &src);
+
+} // namespace storemlp
+
+#endif // STOREMLP_TRACE_TRACE_SOURCE_HH

@@ -150,6 +150,44 @@ TEST(SweepEngine, Jobs1AndJobs4AreBitIdentical)
     }
 }
 
+TEST(SweepEngine, StreamingMatchesMaterializedAtAnyJobCount)
+{
+    // The streaming path (chunked sources, shared chunk cache) must
+    // reproduce the materialized sweep bit for bit, serial and
+    // parallel alike — including an adversarial chunk size that never
+    // divides the run length.
+    std::vector<RunSpec> specs = mixedSpecs();
+
+    TraceCache mat_cache;
+    std::vector<SweepResult> materialized =
+        makeEngine(mat_cache, 2).run(specs);
+
+    for (unsigned jobs : {1u, 4u}) {
+        for (uint64_t chunk : {uint64_t{0}, uint64_t{1021}}) {
+            TraceCache cache;
+            SweepOptions opts;
+            opts.jobs = jobs;
+            opts.progress = false;
+            opts.streaming = true;
+            opts.chunkInsts = chunk;
+            std::vector<SweepResult> streamed =
+                SweepEngine(opts, &cache).run(specs);
+            ASSERT_EQ(streamed.size(), specs.size());
+            for (size_t i = 0; i < specs.size(); ++i) {
+                SCOPED_TRACE("jobs " + std::to_string(jobs) +
+                             " chunk " + std::to_string(chunk) +
+                             " spec " + std::to_string(i));
+                ASSERT_TRUE(streamed[i].ok)
+                    << streamed[i].errorMessage;
+                expectIdentical(materialized[i].output,
+                                streamed[i].output);
+            }
+            // Workers shared chunk production through the cache.
+            EXPECT_GT(cache.stats().hits + cache.stats().misses, 0u);
+        }
+    }
+}
+
 TEST(SweepEngine, CachedAndUncachedTracesAgree)
 {
     std::vector<RunSpec> specs = mixedSpecs();

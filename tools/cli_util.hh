@@ -57,6 +57,12 @@ inline const FlagSpec kWarmupFlag{
     "warmup", "N", "warmup instructions (default 600000)"};
 inline const FlagSpec kMeasureFlag{
     "measure", "N", "measured instructions (default 1000000)"};
+inline const FlagSpec kChunkInstsFlag{
+    "chunk-insts", "N",
+    "streaming chunk size in instructions (default 65536);\n"
+    "results are identical for every chunk size"};
+inline const FlagSpec kCsvFlag{
+    "csv", "", "deprecated alias of --format=csv"};
 
 /** Parsed arguments, validated against a FlagSpec table. */
 class Cli
@@ -204,13 +210,24 @@ enum class OutFormat
     Csv
 };
 
-/** Parse --format (default text); legacy --csv implies csv. */
+/**
+ * Parse --format (default text). The legacy `--csv` boolean is a
+ * deprecated alias of `--format=csv`: it still works (one release of
+ * grace for scripts) but warns on stderr; `--format` wins when both
+ * are given.
+ */
 inline OutFormat
 outFormat(const Cli &cli)
 {
     std::string f = cli.str("format", "");
-    if (f.empty())
-        return cli.flag("csv") ? OutFormat::Csv : OutFormat::Text;
+    if (f.empty()) {
+        if (cli.flag("csv")) {
+            std::cerr << "warning: --csv is deprecated; use "
+                         "--format=csv\n";
+            return OutFormat::Csv;
+        }
+        return OutFormat::Text;
+    }
     if (f == "text")
         return OutFormat::Text;
     if (f == "json")

@@ -16,6 +16,7 @@
 #include "core/config_io.hh"
 #include "core/runner.hh"
 #include "stats/stats_json.hh"
+#include "trace/trace_file_source.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
@@ -58,8 +59,14 @@ toolMain(int argc, char **argv)
         {"profile", "PATH", "load a custom WorkloadProfile file"},
         {"epoch-log", "PATH",
          "write a JSON-lines per-epoch trace to PATH"},
-        kFormatFlag, kOutFlag,
-        {"csv", "", "legacy headline CSV row (see --format)"},
+        {"trace", "PATH",
+         "simulate an on-disk trace file (streamed in chunks;\n"
+         "the file must already reflect --model)"},
+        {"stream", "",
+         "synthesize the trace chunk-by-chunk instead of\n"
+         "materializing it (O(chunk) trace memory)"},
+        kChunkInstsFlag,
+        kFormatFlag, kOutFlag, kCsvFlag,
     });
 
     RunSpec spec;
@@ -187,30 +194,24 @@ toolMain(int argc, char **argv)
         spec.epochLog = &epoch_ofs;
     }
 
-    RunOutput out = Runner::run(spec);
+    uint64_t chunk = cli.num("chunk-insts", 0);
+    RunOutput out;
+    if (cli.has("trace")) {
+        // On-disk input: mmap-backed, decoded chunk by chunk — a
+        // 50M-instruction trace runs in O(chunk) resident memory.
+        StreamingFileSource src(cli.str("trace", ""), chunk);
+        out = Runner::run(spec, src);
+    } else if (cli.flag("stream") || chunk) {
+        std::unique_ptr<TraceSource> src =
+            Runner::makeSource(spec, chunk);
+        out = Runner::run(spec, *src);
+    } else {
+        out = Runner::run(spec);
+    }
 
     OutFormat fmt = outFormat(cli);
     OutputSink sink(cli);
     std::ostream &os = sink.stream();
-
-    if (fmt == OutFormat::Csv && !cli.has("format")) {
-        // Legacy --csv headline row, byte-for-byte stable.
-        os << "workload,prefetch,model,sle,scout,sq,sb,"
-              "epochs_per_1000,mlp,store_mlp,offchip_cpi,"
-              "overlapped_frac,miss_loads_100,miss_stores_100,"
-              "miss_insts_100\n";
-        os << spec.profile.name << "," << sp << "," << model
-           << "," << (cfg.sle ? 1 : 0) << "," << scout << ","
-           << cfg.storeQueueSize << "," << cfg.storeBufferSize
-           << "," << out.sim.epochsPer1000() << ","
-           << out.sim.mlp() << "," << out.sim.storeMlp() << ","
-           << out.sim.offChipCpi(cfg.missLatency) << ","
-           << out.sim.overlappedStoreFraction() << ","
-           << out.sim.missLoadsPer100() << ","
-           << out.sim.missStoresPer100() << ","
-           << out.sim.missInstsPer100() << "\n";
-        return 0;
-    }
 
     if (fmt != OutFormat::Text) {
         StatsMeta meta = {

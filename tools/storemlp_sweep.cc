@@ -41,12 +41,16 @@ toolMain(int argc, char **argv)
         kJobsFlag,
         kWarmupFlag, kMeasureFlag, kSeedFlag,
         {"no-trace-cache", "", "rebuild the trace for every run"},
+        {"stream", "",
+         "synthesize traces chunk-by-chunk per worker instead of\n"
+         "materializing them (O(chunk) trace memory per run;\n"
+         "workers share decoded chunks via the trace cache)"},
+        kChunkInstsFlag,
         {"retries", "N",
          "retry a failing run up to N extra times (default 0)"},
         {"epoch-log", "DIR",
          "write one JSON-lines epoch trace per run into DIR"},
-        kFormatFlag, kOutFlag,
-        {"csv", "", "legacy headline CSV rows (see --format)"},
+        kFormatFlag, kOutFlag, kCsvFlag,
     });
 
     std::string dir = cli.str("dir", "configs");
@@ -126,6 +130,8 @@ toolMain(int argc, char **argv)
         opts.maxAttempts =
             1 + static_cast<unsigned>(cli.num("retries", 0));
     opts.useTraceCache = !cli.flag("no-trace-cache");
+    opts.streaming = cli.flag("stream") || cli.has("chunk-insts");
+    opts.chunkInsts = cli.num("chunk-insts", 0);
     SweepEngine engine(opts);
     std::vector<SweepResult> results = engine.run(specs);
 

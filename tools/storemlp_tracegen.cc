@@ -32,7 +32,10 @@ toolMain(int argc, char **argv)
         kSeedFlag,
         {"chip", "N", "chip id for region placement (default 0)"},
         {"wc", "", "emit the weak-consistency rendition"},
-        {"v2", "", "delta-compressed output format"},
+        {"v2", "", "delta-compressed record encoding"},
+        {"legacy", "",
+         "bare v1/v2 container (no fingerprint header);\n"
+         "default is the self-describing v3 container"},
         {"out", "PATH", "output trace file (required)"},
         kFormatFlag,
     });
@@ -41,19 +44,36 @@ toolMain(int argc, char **argv)
 
     WorkloadProfile profile =
         workloadByName(cli, cli.str("workload", "database"));
-    SyntheticTraceGenerator gen(profile, cli.num("seed", 42),
-                                static_cast<uint32_t>(
-                                    cli.num("chip", 0)));
-    Trace trace = gen.generate(cli.num("count", 1000 * 1000));
+    uint64_t seed = cli.num("seed", 42);
+    uint64_t count = cli.num("count", 1000 * 1000);
+    uint64_t chip = cli.num("chip", 0);
+    SyntheticTraceGenerator gen(profile, seed,
+                                static_cast<uint32_t>(chip));
+    Trace trace = gen.generate(count);
 
     if (cli.flag("wc"))
         trace = TraceRewriter().toWeakConsistency(trace);
 
     try {
-        if (cli.flag("v2"))
-            writeTraceCompressedFile(cli.str("out", ""), trace);
-        else
-            writeTraceFile(cli.str("out", ""), trace);
+        if (cli.flag("legacy")) {
+            // Bare v1/v2 stream, for consumers predating the v3
+            // container.
+            if (cli.flag("v2"))
+                writeTraceCompressedFile(cli.str("out", ""), trace);
+            else
+                writeTraceFile(cli.str("out", ""), trace);
+        } else {
+            // Same provenance string GeneratorSource streams under,
+            // so a file round-trip is cache-compatible with the
+            // equivalent synthesized source.
+            std::string fp = profile.cacheKey() +
+                "|seed=" + std::to_string(seed) +
+                "|n=" + std::to_string(count) +
+                "|wc=" + (cli.flag("wc") ? "1" : "0") +
+                "|chip=" + std::to_string(chip);
+            writeTraceFileV3(cli.str("out", ""), trace, fp,
+                             cli.flag("v2"));
+        }
     } catch (const TraceFormatError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

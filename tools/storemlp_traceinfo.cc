@@ -1,9 +1,13 @@
 /**
  * @file
- * storemlp_traceinfo: inspect a binary trace file — instruction mix,
- * detected critical sections, and an optional record dump.
+ * storemlp_traceinfo: inspect a binary trace file. The default report
+ * comes from the container header alone — record count, file bytes,
+ * format version, profile fingerprint — without decoding a single
+ * record, so it is O(1) for a multi-gigabyte trace. `--full` streams
+ * the records (O(chunk) resident) to add the instruction mix and the
+ * detected critical sections; `--dump N` prints the first N records.
  *
- *   storemlp_traceinfo --in trace.trc [--dump 20]
+ *   storemlp_traceinfo --in trace.trc [--full] [--dump 20]
  */
 
 #include <iomanip>
@@ -12,6 +16,7 @@
 #include "cli_util.hh"
 #include "stats/stats_json.hh"
 #include "trace/lock_detector.hh"
+#include "trace/trace_file_source.hh"
 #include "trace/trace_io.hh"
 
 using namespace storemlp;
@@ -25,25 +30,62 @@ toolMain(int argc, char **argv)
 {
     Cli cli(argc, argv, {
         {"in", "PATH", "trace file (required)"},
+        {"full", "",
+         "decode the records (streamed): instruction mix and\n"
+         "critical-section analysis"},
         {"dump", "N", "print the first N records (text only)"},
+        kChunkInstsFlag,
         kFormatFlag, kOutFlag,
     });
     if (!cli.has("in"))
         cli.fail("--in is required");
+    std::string path = cli.str("in", "");
+    uint64_t dump = cli.num("dump", 0);
+    bool full = cli.flag("full");
 
-    Trace trace;
+    TraceFileInfo info;
     try {
-        trace = readTraceFile(cli.str("in", ""));
+        info = probeTraceFile(path);
     } catch (const TraceFormatError &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
     }
 
-    Trace::Mix mix = trace.mix();
-    LockAnalysis locks = LockDetector().analyze(trace);
+    // Mix and lock analysis decode the stream, so they are opt-in;
+    // the header probe above is the whole cost of the default report.
+    Trace::Mix mix;
+    LockAnalysis locks;
     uint64_t total_len = 0;
-    for (const auto &p : locks.pairs)
-        total_len += p.releaseIdx - p.acquireIdx;
+    std::optional<StreamingFileSource> src;
+    if (full || dump) {
+        try {
+            src.emplace(path, cli.num("chunk-insts", 0));
+        } catch (const TraceFormatError &e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
+        }
+    }
+    if (full) {
+        mix.total = info.records;
+        forEachRecord(*src, 0, info.records, [&](const TraceRecord &r) {
+            if (r.cls == InstClass::AtomicCas ||
+                r.cls == InstClass::StoreCond ||
+                r.cls == InstClass::LoadLocked) {
+                ++mix.atomics;
+            }
+            if (isLoadClass(r.cls))
+                ++mix.loads;
+            if (isStoreClass(r.cls))
+                ++mix.stores;
+            if (r.cls == InstClass::Branch)
+                ++mix.branches;
+            if (isBarrierClass(r.cls))
+                ++mix.barriers;
+        });
+        locks = analyzeSource(*src);
+        for (const auto &p : locks.pairs)
+            total_len += p.releaseIdx - p.acquireIdx;
+    }
 
     OutFormat fmt = outFormat(cli);
     OutputSink sink(cli);
@@ -52,21 +94,28 @@ toolMain(int argc, char **argv)
     if (fmt != OutFormat::Text) {
         StatsMeta meta = {
             {"tool", "storemlp_traceinfo"},
-            {"file", cli.str("in", "")},
+            {"file", path},
+            {"fingerprint", info.fingerprint},
         };
         StatsRegistry reg;
-        reg.counter("trace.records", mix.total);
-        reg.counter("trace.loads", mix.loads);
-        reg.counter("trace.stores", mix.stores);
-        reg.counter("trace.branches", mix.branches);
-        reg.counter("trace.atomics", mix.atomics);
-        reg.counter("trace.barriers", mix.barriers);
-        reg.counter("trace.criticalSections", locks.pairs.size());
-        reg.scalar("trace.meanCriticalSectionLen",
-                   locks.pairs.empty()
-                       ? 0.0
-                       : static_cast<double>(total_len) /
-                             static_cast<double>(locks.pairs.size()));
+        reg.counter("trace.records", info.records);
+        reg.counter("trace.fileBytes", info.fileBytes);
+        reg.counter("trace.version", info.version);
+        reg.counter("trace.bodyFormat", info.bodyFormat);
+        if (full) {
+            reg.counter("trace.loads", mix.loads);
+            reg.counter("trace.stores", mix.stores);
+            reg.counter("trace.branches", mix.branches);
+            reg.counter("trace.atomics", mix.atomics);
+            reg.counter("trace.barriers", mix.barriers);
+            reg.counter("trace.criticalSections", locks.pairs.size());
+            reg.scalar("trace.meanCriticalSectionLen",
+                       locks.pairs.empty()
+                           ? 0.0
+                           : static_cast<double>(total_len) /
+                                 static_cast<double>(
+                                     locks.pairs.size()));
+        }
         if (fmt == OutFormat::Json)
             writeStatsJson(os, reg, meta, /*pretty=*/true);
         else
@@ -74,41 +123,55 @@ toolMain(int argc, char **argv)
         return 0;
     }
 
-    double n = std::max<double>(1.0, static_cast<double>(mix.total));
-    os << "records:  " << mix.total << "\n"
-       << std::fixed << std::setprecision(2)
-       << "loads:    " << mix.loads << " ("
-       << 100.0 * mix.loads / n << "%)\n"
-       << "stores:   " << mix.stores << " ("
-       << 100.0 * mix.stores / n << "%)\n"
-       << "branches: " << mix.branches << " ("
-       << 100.0 * mix.branches / n << "%)\n"
-       << "atomics:  " << mix.atomics << "\n"
-       << "barriers: " << mix.barriers << "\n";
+    os << "records:  " << info.records << "\n"
+       << "bytes:    " << info.fileBytes << "\n"
+       << "format:   v" << info.version << " (body v"
+       << info.bodyFormat << ")\n";
+    if (!info.fingerprint.empty())
+        os << "fingerprint: " << info.fingerprint << "\n";
 
-    os << "critical sections: " << locks.pairs.size() << "\n";
-    if (!locks.pairs.empty()) {
-        os << "mean critical-section length: "
-           << static_cast<double>(total_len) /
-                  static_cast<double>(locks.pairs.size())
-           << " instructions\n";
+    if (full) {
+        double n =
+            std::max<double>(1.0, static_cast<double>(mix.total));
+        os << std::fixed << std::setprecision(2)
+           << "loads:    " << mix.loads << " ("
+           << 100.0 * mix.loads / n << "%)\n"
+           << "stores:   " << mix.stores << " ("
+           << 100.0 * mix.stores / n << "%)\n"
+           << "branches: " << mix.branches << " ("
+           << 100.0 * mix.branches / n << "%)\n"
+           << "atomics:  " << mix.atomics << "\n"
+           << "barriers: " << mix.barriers << "\n";
+
+        os << "critical sections: " << locks.pairs.size() << "\n";
+        if (!locks.pairs.empty()) {
+            os << "mean critical-section length: "
+               << static_cast<double>(total_len) /
+                      static_cast<double>(locks.pairs.size())
+               << " instructions\n";
+        }
     }
 
-    uint64_t dump = cli.num("dump", 0);
-    for (uint64_t i = 0; i < dump && i < trace.size(); ++i) {
-        const TraceRecord &r = trace[i];
-        os << std::setw(6) << i << "  0x" << std::hex
-           << r.pc << std::dec << "  " << std::setw(6)
-           << instClassName(r.cls);
-        if (isMemClass(r.cls))
-            os << "  addr=0x" << std::hex << r.addr << std::dec;
-        if (r.cls == InstClass::Branch)
-            os << (r.taken() ? "  taken" : "  not-taken");
-        if (r.lockAcquire())
-            os << "  [acquire]";
-        if (r.lockRelease())
-            os << "  [release]";
-        os << "\n";
+    if (dump) {
+        TraceCursor cur(*src);
+        for (uint64_t i = 0; i < dump; ++i) {
+            const TraceRecord *rp = cur.tryAt(i);
+            if (!rp)
+                break;
+            const TraceRecord &r = *rp;
+            os << std::setw(6) << i << "  0x" << std::hex << r.pc
+               << std::dec << "  " << std::setw(6)
+               << instClassName(r.cls);
+            if (isMemClass(r.cls))
+                os << "  addr=0x" << std::hex << r.addr << std::dec;
+            if (r.cls == InstClass::Branch)
+                os << (r.taken() ? "  taken" : "  not-taken");
+            if (r.lockAcquire())
+                os << "  [acquire]";
+            if (r.lockRelease())
+                os << "  [release]";
+            os << "\n";
+        }
     }
     return 0;
 }
