@@ -1,16 +1,29 @@
 /**
  * @file
  * Simulator performance harness (google-benchmark): trace generation
- * throughput, cache-only replay throughput, and full epoch-engine
- * throughput on each commercial workload.
+ * throughput, cache-only replay throughput, full epoch-engine
+ * throughput on each commercial workload, and on-disk trace decode
+ * throughput for each container (raw v1 vs delta v3 vs chunked v4).
+ *
+ * The decode benchmarks default to a generated database-profile trace
+ * written to a temp file in every container; pass `--trace PATH` to
+ * measure decode of an existing trace file instead (the flag is
+ * consumed here, before google-benchmark parses the rest).
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "coherence/chip.hh"
 #include "core/mlp_sim.hh"
 #include "core/runner.hh"
 #include "trace/generator.hh"
+#include "trace/trace_file_source.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_source.hh"
 
 using namespace storemlp;
 
@@ -107,6 +120,91 @@ BM_EpochEngineScout_Database(benchmark::State &state)
 }
 BENCHMARK(BM_EpochEngineScout_Database);
 
+/**
+ * Full streaming decode of an on-disk trace: construct the source
+ * (header + index parse) and walk every record, exactly what a
+ * `storemlp_sim --trace` run pays before simulation. Items are
+ * records, bytes are file bytes, so the two rates read directly as
+ * records/s and on-disk MB/s.
+ */
+void
+traceDecodeBench(benchmark::State &state, const std::string &path)
+{
+    uint64_t file_bytes = probeTraceFile(path).fileBytes;
+    uint64_t records = 0;
+    for (auto _ : state) {
+        StreamingFileSource src(path);
+        records = forEachRecord(
+            src, 0, ~uint64_t{0}, [](const TraceRecord &r) {
+                benchmark::DoNotOptimize(r.addr);
+            });
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(records));
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<int64_t>(file_bytes));
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Consume --trace before google-benchmark sees it (it rejects
+    // unknown flags).
+    std::vector<char *> args;
+    std::string trace_path;
+    for (int i = 0; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--trace=", 0) == 0) {
+            trace_path = a.substr(8);
+            continue;
+        }
+        if (a == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+
+    std::vector<std::string> temp_files;
+    if (trace_path.empty()) {
+        // Same records in every container, so the three decode rates
+        // are directly comparable.
+        SyntheticTraceGenerator gen(WorkloadProfile::database(), 1);
+        Trace trace = gen.generate(200000);
+        std::string base = "/tmp/storemlp_perf_decode_";
+        std::string v1 = base + "v1.trc";
+        std::string v3 = base + "v3.trc";
+        std::string v4 = base + "v4.trc";
+        writeTraceFile(v1, trace);
+        writeTraceFileV3(v3, trace, "bench", /*compressed=*/true);
+        writeTraceFileV4(v4, trace, "bench");
+        temp_files = {v1, v3, v4};
+        benchmark::RegisterBenchmark(
+            "BM_TraceDecode_V1Raw",
+            [v1](benchmark::State &s) { traceDecodeBench(s, v1); });
+        benchmark::RegisterBenchmark(
+            "BM_TraceDecode_V3Delta",
+            [v3](benchmark::State &s) { traceDecodeBench(s, v3); });
+        benchmark::RegisterBenchmark(
+            "BM_TraceDecode_V4Chunked",
+            [v4](benchmark::State &s) { traceDecodeBench(s, v4); });
+    } else {
+        benchmark::RegisterBenchmark(
+            "BM_TraceDecode_File",
+            [trace_path](benchmark::State &s) {
+                traceDecodeBench(s, trace_path);
+            });
+    }
+
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    for (const std::string &f : temp_files)
+        std::remove(f.c_str());
+    return 0;
+}

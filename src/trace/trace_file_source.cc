@@ -9,6 +9,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "trace/trace_codec.hh"
 #include "trace/trace_format.hh"
 #include "trace/trace_io.hh"
 
@@ -43,6 +44,14 @@ getVarintBuf(const uint8_t *base, uint64_t size, uint64_t &off)
             return v;
     }
     throw TraceFormatError("overlong varint");
+}
+
+/** v4 index entry `idx`, read straight from the mapped index bytes. */
+trace_codec::V4IndexEntry
+v4Entry(const uint8_t *data, uint64_t index_off, uint64_t idx)
+{
+    return trace_codec::readV4IndexEntry(data + index_off +
+                                         idx * kIndexEntryBytesV4);
 }
 
 } // namespace
@@ -99,14 +108,18 @@ StreamingFileSource::StreamingFileSource(const std::string &path,
     } else if (std::memcmp(_data, kMagicV2, kMagicBytes) == 0) {
         _bodyFormat = 2;
         off = kMagicBytes;
-    } else if (std::memcmp(_data, kMagicV3, kMagicBytes) == 0) {
+    } else if (std::memcmp(_data, kMagicV3, kMagicBytes) == 0 ||
+               std::memcmp(_data, kMagicV4, kMagicBytes) == 0) {
+        bool v4 = std::memcmp(_data, kMagicV4, kMagicBytes) == 0;
         off = kMagicBytes;
         if (off + 5 > _fileBytes)
             throw TraceFormatError("truncated trace header");
         uint8_t fmt = _data[off++];
-        if (fmt != 1 && fmt != 2) {
-            throw TraceFormatError("unknown v3 body format " +
-                                   std::to_string(fmt));
+        bool known = v4 ? fmt == kBodyChunked
+                        : (fmt == kBodyFixed || fmt == kBodyDelta);
+        if (!known) {
+            throw TraceFormatError("unknown v" + std::string(v4 ? "4" : "3") +
+                                   " body format " + std::to_string(fmt));
         }
         _bodyFormat = fmt;
         uint32_t len = getU32(_data + off);
@@ -130,8 +143,37 @@ StreamingFileSource::StreamingFileSource(const std::string &path,
     _count = getU64(_data + off);
     _bodyOff = off + 8;
 
+    if (_bodyFormat == kBodyChunked) {
+        // Chunk geometry, then the whole index validated in place —
+        // O(index) work, no heap: entries are re-read from the
+        // mapping at fetch time.
+        if (_bodyOff + 16 > _fileBytes)
+            throw TraceFormatError("truncated trace header");
+        uint64_t chunk_insts = getU64(_data + _bodyOff);
+        _chunkCount = getU64(_data + _bodyOff + 8);
+        _indexOff = _bodyOff + 16;
+        trace_codec::V4IndexValidator val(_count, chunk_insts,
+                                          _chunkCount);
+        if (_chunkCount > (_fileBytes - _indexOff) / kIndexEntryBytesV4) {
+            throw TraceFormatError(
+                "v4 chunk count " + std::to_string(_chunkCount) +
+                " exceeds stream capacity (" +
+                std::to_string(_fileBytes - _indexOff) +
+                " bytes remain)");
+        }
+        for (uint64_t i = 0; i < _chunkCount; ++i)
+            val.feed(v4Entry(_data, _indexOff, i), i);
+        _bodyOff = _indexOff + _chunkCount * kIndexEntryBytesV4;
+        val.finish(_fileBytes - _bodyOff);
+        // Chunking is non-semantic; serve the file's own geometry so
+        // every fetch is one index lookup plus one chunk decode.
+        if (_chunkCount > 0)
+            _chunkInsts = chunk_insts;
+    }
+
     uint64_t remaining = _fileBytes - _bodyOff;
-    uint64_t min_bytes = _bodyFormat == 1 ? kRecordBytesV1 : 1;
+    uint64_t min_bytes =
+        _bodyFormat == kBodyFixed ? kRecordBytesV1 : 1;
     if (_count > remaining / min_bytes) {
         throw TraceFormatError(
             "trace header count " + std::to_string(_count) +
@@ -158,23 +200,38 @@ StreamingFileSource::~StreamingFileSource()
 #endif
 }
 
+std::optional<uint64_t>
+StreamingFileSource::chunkByteBegin(uint64_t chunk_idx) const
+{
+    if (_bodyFormat == kBodyFixed)
+        return _bodyOff + chunk_idx * _chunkInsts * kRecordBytesV1;
+    if (_bodyFormat == kBodyChunked) {
+        if (chunk_idx >= _chunkCount)
+            return std::nullopt;
+        return _bodyOff + v4Entry(_data, _indexOff, chunk_idx).byteOff;
+    }
+    if (chunk_idx >= _bounds.size())
+        return std::nullopt;
+    return _bounds[chunk_idx].byteOff;
+}
+
 void
 StreamingFileSource::readAhead(uint64_t next_chunk_idx) const
 {
 #if STOREMLP_HAVE_MMAP
     if (!_mapped || next_chunk_idx * _chunkInsts >= _count)
         return;
-    uint64_t begin;
+    std::optional<uint64_t> begin_opt = chunkByteBegin(next_chunk_idx);
+    if (!begin_opt)
+        return;
+    uint64_t begin = *begin_opt;
     uint64_t len;
-    if (_bodyFormat == 1) {
-        begin = _bodyOff + next_chunk_idx * _chunkInsts * kRecordBytesV1;
-        len = _chunkInsts * kRecordBytesV1;
+    if (_bodyFormat == kBodyChunked) {
+        // The index knows the exact compressed extent.
+        len = v4Entry(_data, _indexOff, next_chunk_idx).byteLen;
     } else {
-        if (next_chunk_idx >= _bounds.size())
-            return;
-        begin = _bounds[next_chunk_idx].byteOff;
-        // v2 records average well under the v1 width; the advice is a
-        // hint, so a generous upper bound is fine.
+        // Exact for v1; v2 records average well under the v1 width,
+        // and the advice is a hint, so a generous bound is fine.
         len = _chunkInsts * kRecordBytesV1;
     }
     if (begin >= _fileBytes)
@@ -196,14 +253,10 @@ StreamingFileSource::releaseBehind(uint64_t chunk_idx) const
 #if STOREMLP_HAVE_MMAP
     if (!_mapped)
         return;
-    uint64_t begin;
-    if (_bodyFormat == 1) {
-        begin = _bodyOff + chunk_idx * _chunkInsts * kRecordBytesV1;
-    } else {
-        if (chunk_idx >= _bounds.size())
-            return;
-        begin = _bounds[chunk_idx].byteOff;
-    }
+    std::optional<uint64_t> begin_opt = chunkByteBegin(chunk_idx);
+    if (!begin_opt)
+        return;
+    uint64_t begin = *begin_opt;
     long page = ::sysconf(_SC_PAGESIZE);
     uint64_t mask = page > 0 ? static_cast<uint64_t>(page) - 1 : 4095;
     // Align down so the current chunk's first page stays resident.
@@ -301,6 +354,21 @@ StreamingFileSource::decodeV2Chunk(uint64_t chunk_idx)
     return records;
 }
 
+std::vector<TraceRecord>
+StreamingFileSource::decodeV4ChunkAt(uint64_t chunk_idx) const
+{
+    trace_codec::V4IndexEntry e = v4Entry(_data, _indexOff, chunk_idx);
+    // The constructor validated the whole index; re-check this entry's
+    // extent against the mapping so a file mutated underneath the map
+    // cannot push the decoder out of bounds.
+    uint64_t body_bytes = _fileBytes - _bodyOff;
+    if (e.records > _chunkInsts || e.byteLen > body_bytes ||
+        e.byteOff > body_bytes - e.byteLen)
+        throw TraceFormatError("v4 chunk index changed under the map");
+    return trace_codec::decodeV4Chunk(_data + _bodyOff + e.byteOff,
+                                      e.byteLen, e.records, e.seeds);
+}
+
 std::shared_ptr<const TraceChunk>
 StreamingFileSource::fetch(uint64_t chunk_idx)
 {
@@ -310,8 +378,10 @@ StreamingFileSource::fetch(uint64_t chunk_idx)
     uint64_t n = std::min<uint64_t>(_chunkInsts, _count - first);
 
     std::vector<TraceRecord> records;
-    if (_bodyFormat == 1) {
+    if (_bodyFormat == kBodyFixed) {
         records = decodeV1(first, n);
+    } else if (_bodyFormat == kBodyChunked) {
+        records = decodeV4ChunkAt(chunk_idx);
     } else {
         // Walk forward from the last memoized boundary if this chunk
         // hasn't been reached yet; each crossing memoizes its state,

@@ -2,15 +2,19 @@
  * @file
  * Streaming reader for on-disk traces: an mmap-backed TraceSource that
  * decodes fixed-size chunks on demand, so a multi-gigabyte trace runs
- * with O(chunk) resident decoded records. Supports all three
+ * with O(chunk) resident decoded records. Supports all four
  * containers (v1 fixed, v2 delta-compressed, v3 envelope around
- * either); see trace_format.hh.
+ * either, v4 chunk-indexed compressed); see docs/TRACE_FORMAT.md.
  *
  * v1 bodies are random access (fixed record width). v2 bodies are
  * stateful (pc deltas), so the source memoizes the decode state
  * (byte offset, previous pc) at every chunk boundary it crosses:
  * the first pass over the file is sequential, after which any chunk is
- * reachable in O(chunk). Each fetch also advises the kernel to read
+ * reachable in O(chunk). v4 bodies carry their own chunk index (byte
+ * extents plus decode seeds, validated in full before the first
+ * fetch), so every chunk is random access from the start and decodes
+ * through the wide path in trace_codec.cc; the source adopts the
+ * file's chunk geometry. Each fetch also advises the kernel to read
  * the following chunk's byte range ahead, and to drop the pages behind
  * the current chunk from this process (they remain in the page cache,
  * so a backward fetch only minor-faults them back). Resident memory is
@@ -34,9 +38,12 @@ class StreamingFileSource : public TraceSource
 {
   public:
     /**
-     * Map `path` and parse its header (O(header) work). Throws
-     * TraceFormatError on a bad magic or an impossible record count,
-     * with the same diagnostics as the whole-trace reader.
+     * Map `path` and parse its header (O(header + index) work).
+     * Throws TraceFormatError on a bad magic, an impossible record
+     * count, or a corrupt v4 chunk index, with the same diagnostics
+     * as the whole-trace reader. For v4 files `chunk_insts` is
+     * ignored: chunking is non-semantic, so the source serves the
+     * file's own chunk geometry (see chunkInsts()).
      */
     explicit StreamingFileSource(const std::string &path,
                                  uint64_t chunk_insts = kDefaultChunkInsts);
@@ -63,6 +70,10 @@ class StreamingFileSource : public TraceSource
     std::vector<TraceRecord> decodeV1(uint64_t first, uint64_t n) const;
     /** Requires _bounds[chunk_idx]; appends _bounds[chunk_idx+1]. */
     std::vector<TraceRecord> decodeV2Chunk(uint64_t chunk_idx);
+    /** Decode v4 chunk `chunk_idx` via its (validated) index entry. */
+    std::vector<TraceRecord> decodeV4ChunkAt(uint64_t chunk_idx) const;
+    /** First mapped byte of `chunk_idx`, if locatable without decode. */
+    std::optional<uint64_t> chunkByteBegin(uint64_t chunk_idx) const;
     void readAhead(uint64_t next_chunk_idx) const;
     /** Drop mapped pages strictly before `chunk_idx`'s first byte. */
     void releaseBehind(uint64_t chunk_idx) const;
@@ -80,7 +91,12 @@ class StreamingFileSource : public TraceSource
     std::string _fingerprint;
 
     std::vector<V2Boundary> _bounds; ///< v2 only; grows monotonically
-    mutable uint64_t _dropUpTo = 0;  ///< bytes already MADV_DONTNEEDed
+    // v4 only: the chunk index lives in the mapping at _indexOff and
+    // is fully validated by the constructor; entries are re-read from
+    // the mapped bytes on demand, so the index costs no heap at all.
+    uint64_t _indexOff = 0;
+    uint64_t _chunkCount = 0;
+    mutable uint64_t _dropUpTo = 0; ///< bytes already MADV_DONTNEEDed
 };
 
 } // namespace storemlp

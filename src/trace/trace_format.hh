@@ -1,9 +1,13 @@
 /**
  * @file
  * On-disk trace format internals shared by the whole-trace reader
- * (trace_io.cc) and the streaming chunk reader (trace_file_source.cc).
+ * (trace_io.cc), the streaming chunk reader (trace_file_source.cc)
+ * and the v4 chunk codec (trace_codec.cc).
  *
- * Three containers share one record vocabulary:
+ * The normative wire-format specification for all four containers —
+ * byte layouts, encodings, and corruption-rejection rules — lives in
+ * docs/TRACE_FORMAT.md. Summary:
+ *
  *  v1 ("SMLPTRC1"): u64 count, then fixed 22-byte LE records.
  *  v2 ("SMLPTRC2"): u64 count, then delta-compressed records — a
  *      control byte (class + presence bits), zigzag-varint pc deltas
@@ -15,6 +19,13 @@
  *      v1 or v2 body. The fingerprint identifies the trace bytes
  *      (profile/seed/length/rewrite) so tools can report provenance
  *      from the header alone.
+ *  v4 ("SMLPTRC4"): the v3 envelope (body-format byte 3) plus chunk
+ *      geometry (u64 chunk size, u64 chunk count), a chunk index
+ *      table (per-chunk record count, byte offset/length, pc/address
+ *      seeds), then independently decodable compressed chunks:
+ *      zigzag-varint pc deltas, XOR-varint addresses, packed 3-byte
+ *      register blocks. The index gives random access and parallel
+ *      decode without the v2 sequential-walk restriction.
  */
 
 #ifndef STOREMLP_TRACE_TRACE_FORMAT_HH
@@ -31,16 +42,53 @@ inline constexpr char kMagicV2[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C',
                                      '2'};
 inline constexpr char kMagicV3[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C',
                                      '3'};
+inline constexpr char kMagicV4[8] = {'S', 'M', 'L', 'P', 'T', 'R', 'C',
+                                     '4'};
 inline constexpr uint64_t kMagicBytes = 8;
 inline constexpr uint64_t kRecordBytesV1 = 22;
 /** Fingerprint strings longer than this are rejected as corrupt. */
 inline constexpr uint64_t kMaxMetaBytes = 4096;
 
-// v2 control byte layout: bits 0-3 class, bit 4 pc==prev+4,
+// Body-format byte of the v3/v4 envelopes.
+inline constexpr uint8_t kBodyFixed = 1;   ///< v1 fixed-width records
+inline constexpr uint8_t kBodyDelta = 2;   ///< v2 delta-compressed
+inline constexpr uint8_t kBodyChunked = 3; ///< v4 chunk-indexed
+
+// v2/v4 control byte layout: bits 0-3 class, bit 4 pc==prev+4,
 // bit 5 register/size block present, bit 6 flags byte present.
+// v4 additionally requires the reserved bit 7 to be zero.
 inline constexpr uint8_t kCtrlSeqPc = 1 << 4;
 inline constexpr uint8_t kCtrlRegs = 1 << 5;
 inline constexpr uint8_t kCtrlFlags = 1 << 6;
+inline constexpr uint8_t kCtrlReserved = 1 << 7;
+
+// ---- v4 container geometry ----
+/** Chunk index entry: records, byteOff, byteLen, pcSeed, addrSeed. */
+inline constexpr uint64_t kIndexEntryBytesV4 = 40;
+/** Per-chunk section header: pc/addr/regs/flags/aux u32 lengths. */
+inline constexpr uint64_t kChunkHeaderBytesV4 = 20;
+/**
+ * Worst-case encoded bytes per record inside a v4 chunk: control
+ * byte + 10-byte pc varint + 10-byte address varint + 3-byte register
+ * block + flags byte + aux size byte. Index entries whose byteLen
+ * exceeds kChunkHeaderBytesV4 + records * this are rejected as
+ * corrupt before any allocation.
+ */
+inline constexpr uint64_t kMaxRecordBytesV4 = 26;
+/**
+ * Largest chunk size a v4 file may declare. Caps the worst-case
+ * decoded-chunk footprint and keeps every per-chunk section length
+ * within its u32 field (2^26 records * kMaxRecordBytesV4 < 2^32).
+ */
+inline constexpr uint64_t kMaxChunkInstsV4 = uint64_t{1} << 26;
+
+/**
+ * v4 packed register block size codes (4 bits, split across the top
+ * bits of the block's first two bytes): 0 encodes size 0, codes 1..8
+ * encode 1 << (code-1), code 15 defers to a raw size byte in the aux
+ * stream. Codes 9..14 are reserved and rejected.
+ */
+inline constexpr uint8_t kSizeCodeEscape = 15;
 
 inline void
 putU64(uint8_t *p, uint64_t v)

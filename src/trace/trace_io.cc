@@ -1,7 +1,7 @@
 /**
  * @file
- * Binary trace serialization. Three on-disk containers (see
- * trace_format.hh for the byte-level layout):
+ * Binary trace serialization. Four on-disk containers (normative spec
+ * in docs/TRACE_FORMAT.md, constants in trace_format.hh):
  *  v1 ("SMLPTRC1"): fixed 22-byte little-endian records.
  *  v2 ("SMLPTRC2"): delta-compressed — a control byte per record
  *      (class + presence bits), zigzag-varint pc deltas (sequential
@@ -9,6 +9,8 @@
  *      when non-zero.
  *  v3 ("SMLPTRC3"): metadata envelope (body format + provenance
  *      fingerprint + count) around a v1 or v2 body.
+ *  v4 ("SMLPTRC4"): the envelope plus chunk geometry, a chunk index,
+ *      and independently decodable compressed chunks (trace_codec.cc).
  * readTrace() auto-detects the container by magic.
  */
 
@@ -22,6 +24,7 @@
 #include <optional>
 #include <ostream>
 
+#include "trace/trace_codec.hh"
 #include "trace/trace_format.hh"
 
 namespace storemlp
@@ -117,6 +120,26 @@ writeV2Body(std::ostream &os, const Trace &trace)
     }
 }
 
+/** Shared v3/v4 envelope prefix: magic, body format, fingerprint. */
+void
+writeEnvelopePrefix(std::ostream &os, const char *magic,
+                    uint8_t body_format, const std::string &fingerprint)
+{
+    if (fingerprint.size() > kMaxMetaBytes) {
+        throw TraceFormatError("trace fingerprint length " +
+                               std::to_string(fingerprint.size()) +
+                               " exceeds limit " +
+                               std::to_string(kMaxMetaBytes));
+    }
+    os.write(magic, kMagicBytes);
+    os.put(static_cast<char>(body_format));
+    uint8_t len[4];
+    putU32(len, static_cast<uint32_t>(fingerprint.size()));
+    os.write(reinterpret_cast<const char *>(len), sizeof(len));
+    os.write(fingerprint.data(),
+             static_cast<std::streamsize>(fingerprint.size()));
+}
+
 } // namespace
 
 void
@@ -139,24 +162,60 @@ void
 writeTraceV3(std::ostream &os, const Trace &trace,
              const std::string &fingerprint, bool compressed)
 {
-    if (fingerprint.size() > kMaxMetaBytes) {
-        throw TraceFormatError("trace fingerprint length " +
-                               std::to_string(fingerprint.size()) +
-                               " exceeds limit " +
-                               std::to_string(kMaxMetaBytes));
-    }
-    os.write(kMagicV3, kMagicBytes);
-    os.put(static_cast<char>(compressed ? 2 : 1));
-    uint8_t len[4];
-    putU32(len, static_cast<uint32_t>(fingerprint.size()));
-    os.write(reinterpret_cast<const char *>(len), sizeof(len));
-    os.write(fingerprint.data(),
-             static_cast<std::streamsize>(fingerprint.size()));
+    writeEnvelopePrefix(os, kMagicV3, compressed ? kBodyDelta : kBodyFixed,
+                        fingerprint);
     writeCountHeader(os, trace.size());
     if (compressed)
         writeV2Body(os, trace);
     else
         writeV1Body(os, trace);
+}
+
+void
+writeTraceV4(std::ostream &os, const Trace &trace,
+             const std::string &fingerprint, uint64_t chunk_insts)
+{
+    if (chunk_insts == 0 || chunk_insts > kMaxChunkInstsV4) {
+        throw TraceFormatError("v4 chunk size " +
+                               std::to_string(chunk_insts) +
+                               " outside [1, " +
+                               std::to_string(kMaxChunkInstsV4) + "]");
+    }
+    uint64_t count = trace.size();
+    uint64_t chunk_count =
+        count ? (count + chunk_insts - 1) / chunk_insts : 0;
+
+    writeEnvelopePrefix(os, kMagicV4, kBodyChunked, fingerprint);
+    writeCountHeader(os, count);
+    uint8_t geom[16];
+    putU64(geom, chunk_insts);
+    putU64(geom + 8, chunk_count);
+    os.write(reinterpret_cast<const char *>(geom), sizeof(geom));
+
+    // The index precedes the body, so encode all chunks first to
+    // learn their byte extents.
+    std::vector<uint8_t> index(chunk_count * kIndexEntryBytesV4);
+    std::vector<uint8_t> body;
+    trace_codec::CodecSeeds seeds;
+    const TraceRecord *records = trace.records().data();
+    uint64_t off = 0;
+    for (uint64_t c = 0; c < chunk_count; ++c) {
+        uint64_t first = c * chunk_insts;
+        trace_codec::V4IndexEntry e;
+        e.records = std::min(chunk_insts, count - first);
+        e.byteOff = off;
+        e.seeds = seeds;
+        e.byteLen =
+            trace_codec::encodeV4Chunk(body, records + first,
+                                       e.records, seeds);
+        off += e.byteLen;
+        trace_codec::writeV4IndexEntry(
+            index.data() + c * kIndexEntryBytesV4, e);
+    }
+    os.write(reinterpret_cast<const char *>(index.data()),
+             static_cast<std::streamsize>(index.size()));
+    os.write(reinterpret_cast<const char *>(body.data()),
+             static_cast<std::streamsize>(body.size()));
 }
 
 namespace
@@ -304,23 +363,31 @@ readV2Body(std::istream &is, uint64_t count)
     return Trace(std::move(records));
 }
 
-/** v3 envelope after the magic: body format + fingerprint. */
+/** v3/v4 envelope after the magic: body format + fingerprint. */
 struct V3Header
 {
     uint32_t bodyFormat = 0;
     std::string fingerprint;
 };
 
+/**
+ * Read the envelope prefix shared by v3 and v4, rejecting body-format
+ * bytes the container version does not define (v3: fixed or delta;
+ * v4: chunked) with a clear TraceFormatError rather than a misparse.
+ */
 V3Header
-readV3Header(std::istream &is)
+readEnvelopeHeader(std::istream &is, uint32_t version)
 {
     V3Header h;
     int fmt = is.get();
     if (fmt == EOF)
         throw TraceFormatError("truncated trace header");
-    if (fmt != 1 && fmt != 2) {
-        throw TraceFormatError("unknown v3 body format " +
-                               std::to_string(fmt));
+    bool known = version == 3
+        ? (fmt == kBodyFixed || fmt == kBodyDelta)
+        : (fmt == kBodyChunked);
+    if (!known) {
+        throw TraceFormatError("unknown v" + std::to_string(version) +
+                               " body format " + std::to_string(fmt));
     }
     h.bodyFormat = static_cast<uint32_t>(fmt);
 
@@ -343,6 +410,98 @@ readV3Header(std::istream &is)
     return h;
 }
 
+/** v4 chunk geometry words following the record count. */
+struct V4Geometry
+{
+    uint64_t chunkInsts = 0;
+    uint64_t chunkCount = 0;
+};
+
+V4Geometry
+readV4Geometry(std::istream &is)
+{
+    uint8_t buf[16];
+    is.read(reinterpret_cast<char *>(buf), sizeof(buf));
+    if (!is)
+        throw TraceFormatError("truncated trace header");
+    return {getU64(buf), getU64(buf + 8)};
+}
+
+/**
+ * Read and validate the v4 chunk index. Every entry is checked by the
+ * validator as it is read, and the index size itself is checked
+ * against the remaining stream bytes first, so a forged header cannot
+ * trigger a large allocation.
+ */
+std::vector<trace_codec::V4IndexEntry>
+readV4Index(std::istream &is, uint64_t count, const V4Geometry &geom)
+{
+    trace_codec::V4IndexValidator val(count, geom.chunkInsts,
+                                      geom.chunkCount);
+    std::optional<uint64_t> remaining = remainingBytes(is);
+    if (remaining) {
+        // Each record occupies at least one body byte and each chunk
+        // one index entry.
+        if (count > *remaining)
+            throwCountExceedsCapacity(count, *remaining, 1);
+        if (geom.chunkCount > *remaining / kIndexEntryBytesV4) {
+            throw TraceFormatError(
+                "v4 chunk count " + std::to_string(geom.chunkCount) +
+                " exceeds stream capacity (" +
+                std::to_string(*remaining) + " bytes remain)");
+        }
+    }
+    std::vector<trace_codec::V4IndexEntry> index;
+    index.reserve(std::min(geom.chunkCount, kMaxBlindReserve));
+    uint8_t buf[kIndexEntryBytesV4];
+    for (uint64_t i = 0; i < geom.chunkCount; ++i) {
+        is.read(reinterpret_cast<char *>(buf), sizeof(buf));
+        if (!is)
+            throw TraceFormatError("truncated v4 chunk index");
+        trace_codec::V4IndexEntry e = trace_codec::readV4IndexEntry(buf);
+        val.feed(e, i);
+        index.push_back(e);
+    }
+    if (remaining) {
+        val.finish(*remaining -
+                   geom.chunkCount * kIndexEntryBytesV4);
+    }
+    return index;
+}
+
+Trace
+readV4Body(std::istream &is, uint64_t count)
+{
+    V4Geometry geom = readV4Geometry(is);
+    std::vector<trace_codec::V4IndexEntry> index =
+        readV4Index(is, count, geom);
+
+    std::vector<TraceRecord> records;
+    records.reserve(checkedReserve(is, count, 1));
+    std::vector<uint8_t> buf;
+    for (const auto &e : index) {
+        // Read incrementally so a forged byteLen on a non-seekable
+        // stream hits EOF long before it can force a huge allocation.
+        buf.clear();
+        uint64_t got = 0;
+        while (got < e.byteLen) {
+            uint64_t step = std::min(e.byteLen - got, kMaxBlindReserve);
+            buf.resize(got + step);
+            is.read(reinterpret_cast<char *>(buf.data() + got),
+                    static_cast<std::streamsize>(step));
+            if (!is)
+                throw TraceFormatError("truncated v4 chunk");
+            got += step;
+        }
+        std::vector<TraceRecord> chunk = trace_codec::decodeV4Chunk(
+            buf.data(), e.byteLen, e.records, e.seeds);
+        records.insert(records.end(),
+                       std::make_move_iterator(chunk.begin()),
+                       std::make_move_iterator(chunk.end()));
+    }
+    return Trace(std::move(records));
+}
+
 } // namespace
 
 Trace
@@ -357,10 +516,14 @@ readTrace(std::istream &is)
     if (std::memcmp(magic, kMagicV2, kMagicBytes) == 0)
         return readV2Body(is, readCountHeader(is));
     if (std::memcmp(magic, kMagicV3, kMagicBytes) == 0) {
-        V3Header h = readV3Header(is);
+        V3Header h = readEnvelopeHeader(is, 3);
         uint64_t count = readCountHeader(is);
-        return h.bodyFormat == 2 ? readV2Body(is, count)
-                                 : readV1Body(is, count);
+        return h.bodyFormat == kBodyDelta ? readV2Body(is, count)
+                                          : readV1Body(is, count);
+    }
+    if (std::memcmp(magic, kMagicV4, kMagicBytes) == 0) {
+        readEnvelopeHeader(is, 4);
+        return readV4Body(is, readCountHeader(is));
     }
     throw TraceFormatError("bad trace magic");
 }
@@ -399,6 +562,18 @@ writeTraceFileV3(const std::string &path, const Trace &trace,
         throw TraceFormatError("write failed: " + path);
 }
 
+void
+writeTraceFileV4(const std::string &path, const Trace &trace,
+                 const std::string &fingerprint, uint64_t chunk_insts)
+{
+    std::ofstream ofs(path, std::ios::binary);
+    if (!ofs)
+        throw TraceFormatError("cannot open for write: " + path);
+    writeTraceV4(ofs, trace, fingerprint, chunk_insts);
+    if (!ofs)
+        throw TraceFormatError("write failed: " + path);
+}
+
 Trace
 readTraceFile(const std::string &path)
 {
@@ -428,7 +603,12 @@ probeTraceFile(const std::string &path)
         info.bodyFormat = 2;
     } else if (std::memcmp(magic, kMagicV3, kMagicBytes) == 0) {
         info.version = 3;
-        V3Header h = readV3Header(ifs);
+        V3Header h = readEnvelopeHeader(ifs, 3);
+        info.bodyFormat = h.bodyFormat;
+        info.fingerprint = std::move(h.fingerprint);
+    } else if (std::memcmp(magic, kMagicV4, kMagicBytes) == 0) {
+        info.version = 4;
+        V3Header h = readEnvelopeHeader(ifs, 4);
         info.bodyFormat = h.bodyFormat;
         info.fingerprint = std::move(h.fingerprint);
     } else {
@@ -436,9 +616,19 @@ probeTraceFile(const std::string &path)
     }
     info.records = readCountHeader(ifs);
 
+    if (info.version == 4) {
+        // O(index) work: validate the full chunk index against the
+        // remaining bytes without decoding any chunk.
+        V4Geometry geom = readV4Geometry(ifs);
+        readV4Index(ifs, info.records, geom);
+        info.chunks = geom.chunkCount;
+        info.chunkInsts = geom.chunkInsts;
+    }
+
     // Validate the untrusted count against the bytes actually present,
     // exactly like the full reader would before reserving memory.
-    uint64_t min_bytes = info.bodyFormat == 1 ? kRecordBytesV1 : 1;
+    uint64_t min_bytes =
+        info.bodyFormat == kBodyFixed ? kRecordBytesV1 : 1;
     std::optional<uint64_t> remaining = remainingBytes(ifs);
     if (remaining && info.records > *remaining / min_bytes)
         throwCountExceedsCapacity(info.records, *remaining, min_bytes);

@@ -1,7 +1,8 @@
 /**
  * @file
- * Binary trace serialization. The on-disk format is a fixed little-
- * endian packing (22 bytes per record) with a magic/version header so
+ * Binary trace serialization. Four on-disk containers (fixed-width
+ * v1, delta-compressed v2, enveloped v3, chunk-indexed compressed v4;
+ * specified in docs/TRACE_FORMAT.md) with magic/version headers so
  * generated traces can be cached between runs and shared across tools.
  */
 
@@ -51,7 +52,23 @@ void writeTraceV3(std::ostream &os, const Trace &trace,
 void writeTraceFileV3(const std::string &path, const Trace &trace,
                       const std::string &fingerprint, bool compressed);
 
-/** Deserialize a trace (auto-detects v1/v2/v3 by magic).
+/**
+ * Serialize in the chunk-indexed compressed v4 container: the v3
+ * envelope plus chunk geometry, a per-chunk index (record count, byte
+ * extent, pc/address seeds) and independently decodable compressed
+ * chunks of `chunk_insts` records each. Smaller than v2 (packed
+ * register blocks, XOR-delta addresses) and randomly accessible; see
+ * docs/TRACE_FORMAT.md. Throws TraceFormatError if `chunk_insts` is 0
+ * or exceeds trace_format::kMaxChunkInstsV4.
+ */
+void writeTraceV4(std::ostream &os, const Trace &trace,
+                  const std::string &fingerprint,
+                  uint64_t chunk_insts = uint64_t{1} << 16);
+void writeTraceFileV4(const std::string &path, const Trace &trace,
+                      const std::string &fingerprint,
+                      uint64_t chunk_insts = uint64_t{1} << 16);
+
+/** Deserialize a trace (auto-detects v1/v2/v3/v4 by magic).
  *  Throws TraceFormatError. */
 Trace readTrace(std::istream &is);
 /** Deserialize a trace from a file (auto-detects format). */
@@ -60,11 +77,13 @@ Trace readTraceFile(const std::string &path);
 /** Header-level description of an on-disk trace (no record decode). */
 struct TraceFileInfo
 {
-    uint32_t version = 0;    ///< container: 1, 2, or 3
-    uint32_t bodyFormat = 0; ///< record encoding: 1 fixed, 2 compressed
+    uint32_t version = 0;    ///< container: 1, 2, 3, or 4
+    uint32_t bodyFormat = 0; ///< 1 fixed, 2 delta, 3 chunked
     uint64_t records = 0;
     uint64_t fileBytes = 0;
-    std::string fingerprint; ///< provenance (v3 only; else empty)
+    uint64_t chunks = 0;     ///< v4 only: chunk count from the index
+    uint64_t chunkInsts = 0; ///< v4 only: records per chunk
+    std::string fingerprint; ///< provenance (v3/v4 only; else empty)
 };
 
 /**

@@ -32,9 +32,11 @@ namespace storemlp::tools
 
 /**
  * One command-line flag. `arg` is the value placeholder shown in the
- * usage text; an empty `arg` makes the flag boolean. Help text may
- * contain newlines; continuation lines are indented under the help
- * column.
+ * usage text; an empty `arg` makes the flag boolean, and an `arg`
+ * starting with '[' (e.g. "[=v4]") makes the value optional: the flag
+ * may appear bare or as `--key=value`, and never consumes the next
+ * argv token. Help text may contain newlines; continuation lines are
+ * indented under the help column.
  */
 struct FlagSpec
 {
@@ -86,7 +88,12 @@ class Cli
             const FlagSpec *spec = find(key);
             if (!spec)
                 fail("unknown flag '--" + key + "'");
-            if (!spec->arg.empty()) {
+            if (!spec->arg.empty() && spec->arg[0] == '[') {
+                // Optional value: bare or --key=value only.
+                _args[key] = eq == std::string::npos
+                    ? std::string()
+                    : body.substr(eq + 1);
+            } else if (!spec->arg.empty()) {
                 if (eq != std::string::npos) {
                     _args[key] = body.substr(eq + 1);
                 } else if (i + 1 < argc) {
@@ -140,7 +147,7 @@ class Cli
         for (const FlagSpec &f : _flags) {
             std::string head = "  --" + f.key;
             if (!f.arg.empty())
-                head += " " + f.arg;
+                head += f.arg[0] == '[' ? f.arg : " " + f.arg;
             if (head.size() < 24)
                 head.append(24 - head.size(), ' ');
             else

@@ -33,6 +33,10 @@ toolMain(int argc, char **argv)
         {"chip", "N", "chip id for region placement (default 0)"},
         {"wc", "", "emit the weak-consistency rendition"},
         {"v2", "", "delta-compressed record encoding"},
+        {"compress", "[=v4]",
+         "chunk-indexed compressed v4 container (smallest,\n"
+         "random access); --chunk-insts sets its chunk size"},
+        kChunkInstsFlag,
         {"legacy", "",
          "bare v1/v2 container (no fingerprint header);\n"
          "default is the self-describing v3 container"},
@@ -41,6 +45,16 @@ toolMain(int argc, char **argv)
     });
     if (!cli.has("out"))
         cli.fail("--out is required");
+    if (cli.has("compress")) {
+        std::string v = cli.str("compress", "");
+        if (!v.empty() && v != "v4")
+            cli.fail("bad --compress value '" + v + "' (only v4)");
+        if (cli.flag("legacy"))
+            cli.fail("--compress requires the self-describing "
+                     "container (drop --legacy)");
+        if (cli.flag("v2"))
+            cli.fail("--compress and --v2 are mutually exclusive");
+    }
 
     WorkloadProfile profile =
         workloadByName(cli, cli.str("workload", "database"));
@@ -71,8 +85,13 @@ toolMain(int argc, char **argv)
                 "|n=" + std::to_string(count) +
                 "|wc=" + (cli.flag("wc") ? "1" : "0") +
                 "|chip=" + std::to_string(chip);
-            writeTraceFileV3(cli.str("out", ""), trace, fp,
-                             cli.flag("v2"));
+            if (cli.has("compress")) {
+                writeTraceFileV4(cli.str("out", ""), trace, fp,
+                                 cli.num("chunk-insts", 65536));
+            } else {
+                writeTraceFileV3(cli.str("out", ""), trace, fp,
+                                 cli.flag("v2"));
+            }
         }
     } catch (const TraceFormatError &e) {
         std::cerr << "error: " << e.what() << "\n";

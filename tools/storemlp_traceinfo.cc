@@ -25,6 +25,28 @@ using namespace storemlp::tools;
 namespace
 {
 
+const char *
+bodyFormatName(uint32_t fmt)
+{
+    switch (fmt) {
+      case 1:
+        return "fixed";
+      case 2:
+        return "delta";
+      case 3:
+        return "chunked";
+      default:
+        return "unknown";
+    }
+}
+
+/** Bytes the same records would occupy in the fixed-width v1 container. */
+uint64_t
+v1EquivalentBytes(uint64_t records)
+{
+    return records * 22 + 16;
+}
+
 int
 toolMain(int argc, char **argv)
 {
@@ -102,6 +124,16 @@ toolMain(int argc, char **argv)
         reg.counter("trace.fileBytes", info.fileBytes);
         reg.counter("trace.version", info.version);
         reg.counter("trace.bodyFormat", info.bodyFormat);
+        if (info.version == 4) {
+            reg.counter("trace.chunks", info.chunks);
+            reg.counter("trace.chunkInsts", info.chunkInsts);
+        }
+        if (info.records) {
+            reg.scalar("trace.compressionRatio",
+                       static_cast<double>(info.fileBytes) /
+                           static_cast<double>(
+                               v1EquivalentBytes(info.records)));
+        }
         if (full) {
             reg.counter("trace.loads", mix.loads);
             reg.counter("trace.stores", mix.stores);
@@ -125,8 +157,22 @@ toolMain(int argc, char **argv)
 
     os << "records:  " << info.records << "\n"
        << "bytes:    " << info.fileBytes << "\n"
-       << "format:   v" << info.version << " (body v"
-       << info.bodyFormat << ")\n";
+       << "format:   v" << info.version << " ("
+       << bodyFormatName(info.bodyFormat) << " body)\n";
+    if (info.version == 4) {
+        os << "chunks:   " << info.chunks << " x " << info.chunkInsts
+           << " records\n";
+    }
+    if (info.records) {
+        // From the header alone: how this container compares to the
+        // same records in fixed-width v1.
+        os << "compression: " << std::fixed << std::setprecision(3)
+           << static_cast<double>(info.fileBytes) /
+                static_cast<double>(v1EquivalentBytes(info.records))
+           << "x of v1 equivalent ("
+           << v1EquivalentBytes(info.records) << " bytes)\n"
+           << std::defaultfloat << std::setprecision(6);
+    }
     if (!info.fingerprint.empty())
         os << "fingerprint: " << info.fingerprint << "\n";
 
