@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Usage:
+    check_perf.py --baseline bench/results/BENCH_sim_throughput.json \
+                  --current build/perf_smoke.json [--filter REGEX]
+
+Benchmarks are matched by name and compared on items_per_second
+(median aggregate when repetitions were used, raw value otherwise).
+A benchmark regresses when
+
+    current < baseline * (1 - tolerance)
+
+Environment:
+    STOREMLP_PERF_TOLERANCE   allowed fractional slowdown before a
+                              benchmark counts as regressed
+                              (default 0.05, i.e. fail on >5%).
+    STOREMLP_PERF_WARN_ONLY   when set to a non-empty value other than
+                              "0", regressions are reported but the
+                              exit code stays 0. Use this on shared
+                              runners whose absolute throughput is not
+                              comparable to the recording host.
+
+Exit codes: 0 ok (or warn-only), 1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def load_rates(path):
+    """Map benchmark name -> items_per_second for one JSON file."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_perf: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    raw = {}
+    medians = {}
+    for b in data.get("benchmarks", []):
+        rate = b.get("items_per_second")
+        if rate is None:
+            continue
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name.rsplit("_", 1)[0]] = rate
+        else:
+            raw[name] = rate
+    # Medians are more robust than single runs; prefer them when the
+    # file was recorded with --benchmark_repetitions.
+    raw.update(medians)
+    return raw
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON")
+    ap.add_argument("--current", required=True,
+                    help="freshly recorded JSON")
+    ap.add_argument("--filter", default="",
+                    help="only compare benchmarks matching this regex")
+    args = ap.parse_args()
+
+    try:
+        tolerance = float(os.environ.get("STOREMLP_PERF_TOLERANCE", "0.05"))
+    except ValueError:
+        print("check_perf: STOREMLP_PERF_TOLERANCE is not a number",
+              file=sys.stderr)
+        sys.exit(2)
+    warn_only = os.environ.get("STOREMLP_PERF_WARN_ONLY", "0") not in ("", "0")
+
+    base = load_rates(args.baseline)
+    cur = load_rates(args.current)
+    pat = re.compile(args.filter) if args.filter else None
+
+    common = sorted(n for n in base if n in cur
+                    and (pat is None or pat.search(n)))
+    if not common:
+        print("check_perf: no common benchmarks between baseline and "
+              "current run", file=sys.stderr)
+        sys.exit(2)
+
+    regressed = []
+    width = max(len(n) for n in common)
+    for name in common:
+        ratio = cur[name] / base[name]
+        mark = "ok"
+        if ratio < 1.0 - tolerance:
+            mark = "REGRESSED"
+            regressed.append(name)
+        print(f"{name:<{width}}  baseline {base[name]:>14.4g}/s  "
+              f"current {cur[name]:>14.4g}/s  ratio {ratio:5.3f}  {mark}")
+
+    if regressed:
+        pct = tolerance * 100
+        print(f"\n{len(regressed)} benchmark(s) regressed more than "
+              f"{pct:g}%: {', '.join(regressed)}")
+        if warn_only:
+            print("STOREMLP_PERF_WARN_ONLY set; not failing the build.")
+            return 0
+        return 1
+    print(f"\nall {len(common)} benchmark(s) within {tolerance * 100:g}% "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,22 +16,8 @@ CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
 }
 
 MissLevel
-CacheHierarchy::accessL2(uint64_t addr, bool is_write)
+CacheHierarchy::instFetchSlow(uint64_t line)
 {
-    ++_l2Accesses;
-    AccessResult r = _l2.access(addr, is_write, true);
-    if (r.victimValid && _onEvict)
-        _onEvict(r.victimLineAddr, r.victimDirty, r.victimState);
-    return r.hit ? MissLevel::L2Hit : MissLevel::OffChip;
-}
-
-MissLevel
-CacheHierarchy::instFetch(uint64_t pc)
-{
-    uint64_t line = lineAddr(pc);
-    ++_instAccesses;
-    if (line == _lastFetchLine)
-        return MissLevel::L1Hit;
     _lastFetchLine = line;
     if (_l1i.access(line, false, true).hit)
         return MissLevel::L1Hit;
@@ -39,31 +25,6 @@ CacheHierarchy::instFetch(uint64_t pc)
     if (lvl == MissLevel::OffChip)
         ++_instL2Misses;
     return lvl;
-}
-
-MissLevel
-CacheHierarchy::load(uint64_t addr)
-{
-    ++_loadAccesses;
-    if (_l1d.access(addr, false, true).hit)
-        return MissLevel::L1Hit;
-    MissLevel lvl = accessL2(addr, false);
-    if (lvl == MissLevel::OffChip)
-        ++_loadL2Misses;
-    return lvl;
-}
-
-MissLevel
-CacheHierarchy::store(uint64_t addr)
-{
-    ++_storeAccesses;
-    // Write-through no-write-allocate L1D: update on hit, never fill.
-    _l1d.access(addr, true, false);
-    // Stores always reach the (write-allocate) L2.
-    MissLevel lvl = accessL2(addr, true);
-    if (lvl == MissLevel::OffChip)
-        ++_storeL2Misses;
-    return lvl == MissLevel::L2Hit ? MissLevel::L2Hit : MissLevel::OffChip;
 }
 
 bool

@@ -49,15 +49,47 @@ class CacheHierarchy
 
     explicit CacheHierarchy(const HierarchyConfig &config = {});
 
-    /** Instruction fetch for the line containing `pc`. */
-    MissLevel instFetch(uint64_t pc);
-    /** Data load. */
-    MissLevel load(uint64_t addr);
+    /**
+     * Instruction fetch for the line containing `pc`. Inline fast
+     * path: sequential fetches within one line cost a compare.
+     */
+    MissLevel
+    instFetch(uint64_t pc)
+    {
+        uint64_t line = lineAddr(pc);
+        ++_instAccesses;
+        if (line == _lastFetchLine)
+            return MissLevel::L1Hit;
+        return instFetchSlow(line);
+    }
+    /** Data load. Inline: the L1D-hit fast path is a memo compare. */
+    MissLevel
+    load(uint64_t addr)
+    {
+        ++_loadAccesses;
+        if (_l1d.access(addr, false, true).hit)
+            return MissLevel::L1Hit;
+        MissLevel lvl = accessL2(addr, false);
+        if (lvl == MissLevel::OffChip)
+            ++_loadL2Misses;
+        return lvl;
+    }
     /**
      * Data store: write-through, no-write-allocate L1D; allocates in
      * L2. Returns OffChip when the line missed the L2.
      */
-    MissLevel store(uint64_t addr);
+    MissLevel
+    store(uint64_t addr)
+    {
+        ++_storeAccesses;
+        // Write-through no-write-allocate L1D: update on hit, never
+        // fill. Stores always reach the (write-allocate) L2.
+        _l1d.access(addr, true, false);
+        MissLevel lvl = accessL2(addr, true);
+        if (lvl == MissLevel::OffChip)
+            ++_storeL2Misses;
+        return lvl;
+    }
     /**
      * Install a line into the L2 (hardware prefetch / scout prefetch).
      * @param for_write fills the line dirty (prefetch-for-write)
@@ -103,7 +135,17 @@ class CacheHierarchy
                      const std::string &prefix = "cache.") const;
 
   private:
-    MissLevel accessL2(uint64_t addr, bool is_write);
+    MissLevel
+    accessL2(uint64_t addr, bool is_write)
+    {
+        ++_l2Accesses;
+        AccessResult r = _l2.access(addr, is_write, true);
+        if (r.victimValid && _onEvict)
+            _onEvict(r.victimLineAddr, r.victimDirty, r.victimState);
+        return r.hit ? MissLevel::L2Hit : MissLevel::OffChip;
+    }
+    /** Line-crossing instruction fetch: L1I then L2. */
+    MissLevel instFetchSlow(uint64_t line);
 
     HierarchyConfig _config;
     SetAssocCache _l1i;

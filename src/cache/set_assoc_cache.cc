@@ -17,6 +17,17 @@ isPow2(uint64_t v)
 {
     return v && ((v & (v - 1)) == 0);
 }
+
+uint32_t
+log2Floor(uint64_t v)
+{
+    uint32_t s = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++s;
+    }
+    return s;
+}
 } // namespace
 
 SetAssocCache::SetAssocCache(const CacheConfig &config)
@@ -25,42 +36,29 @@ SetAssocCache::SetAssocCache(const CacheConfig &config)
     assert(_numSets >= 1);
     assert(isPow2(config.lineBytes));
     assert(isPow2(_numSets));
+    _lineShift = log2Floor(_config.lineBytes);
+    _setShift = log2Floor(_numSets);
     _lines.resize(_numSets * _config.assoc);
 }
 
-uint64_t
-SetAssocCache::setIndex(uint64_t addr) const
-{
-    return (addr / _config.lineBytes) & (_numSets - 1);
-}
-
-uint64_t
-SetAssocCache::tagOf(uint64_t addr) const
-{
-    return (addr / _config.lineBytes) / _numSets;
-}
-
 SetAssocCache::Line *
-SetAssocCache::findLine(uint64_t addr)
+SetAssocCache::findLineSearch(uint64_t line_no)
 {
-    uint64_t set = setIndex(addr);
-    uint64_t tag = tagOf(addr);
+    uint64_t set = line_no & (_numSets - 1);
+    uint64_t tag = line_no >> _setShift;
     Line *base = &_lines[set * _config.assoc];
     for (uint32_t w = 0; w < _config.assoc; ++w) {
-        if (base[w].valid && base[w].tag == tag)
+        if (base[w].valid && base[w].tag == tag) {
+            _memoLine = &base[w];
+            _memoLineNo = line_no;
             return &base[w];
+        }
     }
     return nullptr;
 }
 
-const SetAssocCache::Line *
-SetAssocCache::findLine(uint64_t addr) const
-{
-    return const_cast<SetAssocCache *>(this)->findLine(addr);
-}
-
 AccessResult
-SetAssocCache::access(uint64_t addr, bool is_write, bool allocate)
+SetAssocCache::accessSearch(uint64_t addr, bool is_write, bool allocate)
 {
     ++_accesses;
     AccessResult res;
@@ -95,6 +93,10 @@ SetAssocCache::access(uint64_t addr, bool is_write, bool allocate)
     victim->lru = ++_lruClock;
     victim->dirty = is_write;
     victim->state = 0;
+    // The fill may have displaced the memoized line; repoint the memo
+    // at the freshly installed one either way.
+    _memoLine = victim;
+    _memoLineNo = addr >> _lineShift;
     return res;
 }
 
@@ -131,30 +133,6 @@ SetAssocCache::chooseVictim(uint64_t set)
     }
 }
 
-bool
-SetAssocCache::probe(uint64_t addr) const
-{
-    return findLine(addr) != nullptr;
-}
-
-std::optional<uint8_t>
-SetAssocCache::probeState(uint64_t addr) const
-{
-    if (const Line *line = findLine(addr))
-        return line->state;
-    return std::nullopt;
-}
-
-bool
-SetAssocCache::setState(uint64_t addr, uint8_t state)
-{
-    if (Line *line = findLine(addr)) {
-        line->state = state;
-        return true;
-    }
-    return false;
-}
-
 SetAssocCache::InvalidateResult
 SetAssocCache::invalidate(uint64_t addr)
 {
@@ -166,6 +144,8 @@ SetAssocCache::invalidate(uint64_t addr)
         line->valid = false;
         line->dirty = false;
         line->state = 0;
+        if (line == _memoLine)
+            _memoLine = nullptr;
     }
     return r;
 }
@@ -176,6 +156,7 @@ SetAssocCache::clear()
     for (auto &line : _lines)
         line = Line();
     _lruClock = 0;
+    _memoLine = nullptr;
 }
 
 uint64_t

@@ -33,6 +33,13 @@ struct AccessResult
  * Set-associative cache with true-LRU replacement. Tracks only tags
  * (this is a timing/placement model, not a data model). Lines carry a
  * dirty bit and an opaque user `state` byte for coherence layering.
+ *
+ * Hot-path notes: geometry is power-of-two (asserted), so set/tag
+ * extraction is shift/mask, and a one-entry memo remembers the line
+ * of the most recent hit so consecutive same-line accesses skip the
+ * way search entirely. The memo path performs the identical side
+ * effects (counters, LRU refresh, dirty bit) as the searched path, so
+ * results are bit-for-bit unchanged.
  */
 class SetAssocCache
 {
@@ -45,14 +52,43 @@ class SetAssocCache
      * @param allocate install the line on miss (false = no-write-allocate)
      * @return hit/miss plus any victim displaced by the fill
      */
-    AccessResult access(uint64_t addr, bool is_write, bool allocate = true);
+    AccessResult
+    access(uint64_t addr, bool is_write, bool allocate = true)
+    {
+        uint64_t line_no = addr >> _lineShift;
+        if (_memoLine && line_no == _memoLineNo) {
+            ++_accesses;
+            AccessResult res;
+            res.hit = true;
+            if (_config.replacement != ReplacementPolicy::Fifo)
+                _memoLine->lru = ++_lruClock;
+            if (is_write)
+                _memoLine->dirty = true;
+            return res;
+        }
+        return accessSearch(addr, is_write, allocate);
+    }
 
     /** Non-destructive presence check (does not update LRU). */
-    bool probe(uint64_t addr) const;
+    bool probe(uint64_t addr) const { return findLine(addr) != nullptr; }
     /** Probe and return the line's user state, if present. */
-    std::optional<uint8_t> probeState(uint64_t addr) const;
+    std::optional<uint8_t>
+    probeState(uint64_t addr) const
+    {
+        if (const Line *line = findLine(addr))
+            return line->state;
+        return std::nullopt;
+    }
     /** Set the user state byte of a present line; false if absent. */
-    bool setState(uint64_t addr, uint8_t state);
+    bool
+    setState(uint64_t addr, uint8_t state)
+    {
+        if (Line *line = findLine(addr)) {
+            line->state = state;
+            return true;
+        }
+        return false;
+    }
     /** Invalidate a line; returns true (plus dirtiness) if present. */
     struct InvalidateResult { bool wasPresent = false; bool wasDirty = false; uint8_t state = 0; };
     InvalidateResult invalidate(uint64_t addr);
@@ -78,18 +114,50 @@ class SetAssocCache
         uint8_t state = 0;
     };
 
-    uint64_t setIndex(uint64_t addr) const;
-    uint64_t tagOf(uint64_t addr) const;
-    Line *findLine(uint64_t addr);
-    const Line *findLine(uint64_t addr) const;
+    // Geometry is asserted power-of-two in the constructor, so both
+    // of these are shifts, not divisions.
+    uint64_t setIndex(uint64_t addr) const
+    {
+        return (addr >> _lineShift) & (_numSets - 1);
+    }
+    uint64_t tagOf(uint64_t addr) const
+    {
+        return addr >> (_lineShift + _setShift);
+    }
+    /** Locate a present line; updates the memo on a search hit. */
+    Line *
+    findLine(uint64_t addr)
+    {
+        uint64_t line_no = addr >> _lineShift;
+        if (_memoLine && line_no == _memoLineNo)
+            return _memoLine;
+        return findLineSearch(line_no);
+    }
+    const Line *
+    findLine(uint64_t addr) const
+    {
+        return const_cast<SetAssocCache *>(this)->findLine(addr);
+    }
+    Line *findLineSearch(uint64_t line_no);
+
+    /** Way-search + fill path of access(); memo miss only. */
+    AccessResult accessSearch(uint64_t addr, bool is_write, bool allocate);
 
     Line *chooseVictim(uint64_t set);
 
     CacheConfig _config;
     uint64_t _numSets;
+    uint32_t _lineShift = 0; ///< log2(lineBytes)
+    uint32_t _setShift = 0;  ///< log2(numSets)
     std::vector<Line> _lines; // numSets x assoc
     uint64_t _lruClock = 0;
     uint64_t _rngState = 0x9e3779b97f4a7c15ULL; ///< Random policy
+
+    // One-entry memo: the line of the most recent hit/fill. Invariant:
+    // when non-null, _memoLine is valid and its line number (tag+set)
+    // equals _memoLineNo. Cleared on invalidate/clear of that line.
+    Line *_memoLine = nullptr;
+    uint64_t _memoLineNo = 0;
 
     uint64_t _accesses = 0;
     uint64_t _misses = 0;

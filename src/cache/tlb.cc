@@ -16,20 +16,27 @@ Tlb::Tlb(const TlbConfig &config) : _config(config)
     assert(config.entries % config.assoc == 0);
     _numSets = config.entries / config.assoc;
     assert(_numSets && (_numSets & (_numSets - 1)) == 0);
+    if (config.pageBytes && (config.pageBytes & (config.pageBytes - 1)) == 0) {
+        uint32_t v = config.pageBytes;
+        while (v > 1) {
+            v >>= 1;
+            ++_pageShift;
+        }
+    }
     _entries.resize(config.entries);
 }
 
 bool
-Tlb::access(uint64_t vaddr)
+Tlb::accessSearch(uint64_t vpn)
 {
     ++_accesses;
-    uint64_t vpn = vaddr / _config.pageBytes;
     uint32_t set = static_cast<uint32_t>(vpn & (_numSets - 1));
     Entry *base = &_entries[static_cast<size_t>(set) * _config.assoc];
 
     for (uint32_t w = 0; w < _config.assoc; ++w) {
         if (base[w].valid && base[w].vpn == vpn) {
             base[w].lru = ++_lruClock;
+            promoteMemo(&base[w], vpn);
             return true;
         }
     }
@@ -47,7 +54,24 @@ Tlb::access(uint64_t vaddr)
     victim->valid = true;
     victim->vpn = vpn;
     victim->lru = ++_lruClock;
+    promoteMemo(victim, vpn);
     return false;
+}
+
+void
+Tlb::promoteMemo(Entry *entry, uint64_t vpn)
+{
+    // The refilled/hit entry becomes MRU; the previous MRU is demoted.
+    // If `entry` was the demoted slot it now maps a different VPN, so
+    // the demoted memo must not survive pointing at it.
+    if (_memo != entry) {
+        _memo2 = _memo;
+        _memoVpn2 = _memoVpn;
+    }
+    if (_memo2 == entry)
+        _memo2 = nullptr;
+    _memo = entry;
+    _memoVpn = vpn;
 }
 
 void
@@ -56,6 +80,8 @@ Tlb::clear()
     for (auto &e : _entries)
         e = Entry();
     _lruClock = 0;
+    _memo = nullptr;
+    _memo2 = nullptr;
 }
 
 } // namespace storemlp

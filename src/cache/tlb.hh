@@ -11,6 +11,7 @@
 #define STOREMLP_CACHE_TLB_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace storemlp
@@ -25,7 +26,11 @@ struct TlbConfig
 };
 
 /**
- * Set-associative TLB with LRU replacement.
+ * Set-associative TLB with LRU replacement. A two-entry memo keeps
+ * the most recently hit entries so runs of same-page references — and
+ * the common pattern of code touching one page while data touches
+ * another — skip the way scan; the memo path applies the same counter
+ * and LRU updates as the scan.
  */
 class Tlb
 {
@@ -33,7 +38,26 @@ class Tlb
     explicit Tlb(const TlbConfig &config = {});
 
     /** Translate; returns true on TLB hit. */
-    bool access(uint64_t vaddr);
+    bool
+    access(uint64_t vaddr)
+    {
+        uint64_t vpn = _pageShift ? (vaddr >> _pageShift)
+                                  : (vaddr / _config.pageBytes);
+        if (_memo && vpn == _memoVpn) {
+            ++_accesses;
+            _memo->lru = ++_lruClock;
+            return true;
+        }
+        if (_memo2 && vpn == _memoVpn2) {
+            ++_accesses;
+            _memo2->lru = ++_lruClock;
+            // MRU-order the memo pair.
+            std::swap(_memo, _memo2);
+            std::swap(_memoVpn, _memoVpn2);
+            return true;
+        }
+        return accessSearch(vpn);
+    }
 
     uint64_t accesses() const { return _accesses; }
     uint64_t misses() const { return _misses; }
@@ -50,10 +74,20 @@ class Tlb
         bool valid = false;
     };
 
+    /** Way scan + refill for a memo miss; takes the precomputed VPN. */
+    bool accessSearch(uint64_t vpn);
+    /** Make `entry` the MRU memo, demoting the previous one. */
+    void promoteMemo(Entry *entry, uint64_t vpn);
+
     TlbConfig _config;
     uint32_t _numSets;
+    uint32_t _pageShift = 0; ///< log2(pageBytes), 0 = use division
     std::vector<Entry> _entries;
     uint64_t _lruClock = 0;
+    Entry *_memo = nullptr; ///< most recently hit entry
+    uint64_t _memoVpn = 0;
+    Entry *_memo2 = nullptr; ///< second most recently hit entry
+    uint64_t _memoVpn2 = 0;
     uint64_t _accesses = 0;
     uint64_t _misses = 0;
 };

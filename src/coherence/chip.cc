@@ -36,37 +36,8 @@ ChipNode::connect(SnoopBus *bus)
 }
 
 void
-ChipNode::setLineState(uint64_t line, MesiState s)
+ChipNode::storeMissSlow(StoreOutcome &out, uint64_t line)
 {
-    _hier.l2().setState(line, static_cast<uint8_t>(s));
-}
-
-ChipNode::StoreOutcome
-ChipNode::store(uint64_t addr)
-{
-    StoreOutcome out;
-    _tlb.access(addr);
-    uint64_t line = _hier.lineAddr(addr);
-
-    // Check the pre-access state so S->M upgrades are visible.
-    auto pre_state = _hier.l2().probeState(line);
-
-    out.level = _hier.store(addr);
-
-    if (out.level != MissLevel::OffChip) {
-        // L2 hit. Upgrade if other chips may hold copies (Shared, or
-        // Owned under MOESI).
-        MesiState st = pre_state
-            ? static_cast<MesiState>(*pre_state) : MesiState::Modified;
-        if ((st == MesiState::Shared || st == MesiState::Owned) &&
-            _bus) {
-            BusRequest req{BusRequest::Kind::Upgr, line, _chipId};
-            _bus->request(req);
-        }
-        setLineState(line, MesiState::Modified);
-        return out;
-    }
-
     // Off-chip store miss: the SMAC may already hold ownership.
     if (_smac) {
         Smac::ProbeResult pr = _smac->probeStoreMiss(line);
@@ -76,7 +47,7 @@ ChipNode::store(uint64_t addr)
             // Ownership already on-chip: no cross-chip transaction.
             ++_smacAccelerated;
             setLineState(line, MesiState::Modified);
-            return out;
+            return;
         }
     }
 
@@ -86,19 +57,11 @@ ChipNode::store(uint64_t addr)
         out.remoteInvalidation = resp.remoteHad;
     }
     setLineState(line, MesiState::Modified);
-    return out;
 }
 
-ChipNode::LoadOutcome
-ChipNode::load(uint64_t addr)
+void
+ChipNode::loadFill(LoadOutcome &out, uint64_t line)
 {
-    LoadOutcome out;
-    _tlb.access(addr);
-    uint64_t line = _hier.lineAddr(addr);
-    out.level = _hier.load(addr);
-    if (out.level != MissLevel::OffChip)
-        return out;
-
     if (_bus) {
         BusRequest req{BusRequest::Kind::Rd, line, _chipId};
         BusResponse resp = _bus->request(req);
@@ -109,26 +72,20 @@ ChipNode::load(uint64_t addr)
     } else {
         setLineState(line, MesiState::Exclusive);
     }
-    return out;
 }
 
-MissLevel
-ChipNode::instFetch(uint64_t pc)
+void
+ChipNode::instFetchFill(uint64_t line)
 {
-    uint64_t line = _hier.lineAddr(pc);
-    MissLevel lvl = _hier.instFetch(pc);
-    if (lvl == MissLevel::OffChip) {
-        if (_bus) {
-            BusRequest req{BusRequest::Kind::Rd, line, _chipId};
-            BusResponse resp = _bus->request(req);
-            setLineState(line,
-                         resp.remoteHad ? MesiState::Shared
-                                        : MesiState::Exclusive);
-        } else {
-            setLineState(line, MesiState::Exclusive);
-        }
+    if (_bus) {
+        BusRequest req{BusRequest::Kind::Rd, line, _chipId};
+        BusResponse resp = _bus->request(req);
+        setLineState(line,
+                     resp.remoteHad ? MesiState::Shared
+                                    : MesiState::Exclusive);
+    } else {
+        setLineState(line, MesiState::Exclusive);
     }
-    return lvl;
 }
 
 bool

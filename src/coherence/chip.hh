@@ -44,7 +44,36 @@ class ChipNode
         bool smacHitInvalidated = false; ///< tag hit on invalidated entry
         bool remoteInvalidation = false; ///< paid a cross-chip penalty
     };
-    StoreOutcome store(uint64_t addr);
+    /** Inline on-chip path; L2 misses take the SMAC/bus slow tail. */
+    StoreOutcome
+    store(uint64_t addr)
+    {
+        StoreOutcome out;
+        _tlb.access(addr);
+        uint64_t line = _hier.lineAddr(addr);
+
+        // Check the pre-access state so S->M upgrades are visible.
+        auto pre_state = _hier.l2().probeState(line);
+
+        out.level = _hier.store(addr);
+
+        if (out.level != MissLevel::OffChip) {
+            // L2 hit. Upgrade if other chips may hold copies (Shared,
+            // or Owned under MOESI).
+            MesiState st = pre_state
+                ? static_cast<MesiState>(*pre_state)
+                : MesiState::Modified;
+            if ((st == MesiState::Shared || st == MesiState::Owned) &&
+                _bus) {
+                BusRequest req{BusRequest::Kind::Upgr, line, _chipId};
+                _bus->request(req);
+            }
+            setLineState(line, MesiState::Modified);
+            return out;
+        }
+        storeMissSlow(out, line);
+        return out;
+    }
 
     /** Outcome of a data load. */
     struct LoadOutcome
@@ -52,10 +81,27 @@ class ChipNode
         MissLevel level = MissLevel::L1Hit;
         bool remoteTransfer = false;
     };
-    LoadOutcome load(uint64_t addr);
+    /** Inline on-chip path; off-chip misses go through the bus. */
+    LoadOutcome
+    load(uint64_t addr)
+    {
+        LoadOutcome out;
+        _tlb.access(addr);
+        out.level = _hier.load(addr);
+        if (out.level == MissLevel::OffChip)
+            loadFill(out, _hier.lineAddr(addr));
+        return out;
+    }
 
-    /** Instruction fetch. */
-    MissLevel instFetch(uint64_t pc);
+    /** Instruction fetch. Inline on-chip path; misses go to the bus. */
+    MissLevel
+    instFetch(uint64_t pc)
+    {
+        MissLevel lvl = _hier.instFetch(pc);
+        if (lvl == MissLevel::OffChip)
+            instFetchFill(_hier.lineAddr(pc));
+        return lvl;
+    }
 
     /**
      * Hardware prefetch of a line (store prefetching / scout).
@@ -82,7 +128,17 @@ class ChipNode
     void resetStats();
 
   private:
-    void setLineState(uint64_t line, MesiState s);
+    void
+    setLineState(uint64_t line, MesiState s)
+    {
+        _hier.l2().setState(line, static_cast<uint8_t>(s));
+    }
+    /** Coherence action for an instruction-fetch L2 miss. */
+    void instFetchFill(uint64_t line);
+    /** Coherence action for a load L2 miss. */
+    void loadFill(LoadOutcome &out, uint64_t line);
+    /** SMAC probe + bus ownership request for a store L2 miss. */
+    void storeMissSlow(StoreOutcome &out, uint64_t line);
 
     CacheHierarchy _hier;
     Tlb _tlb; ///< shared 2K-entry TLB (Section 4.3); stats only

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Flat hash set of cache-line addresses for the epoch engine's
+ * in-flight line tracking. Replaces std::unordered_set on the hot
+ * path: open addressing (no per-insert allocation), epoch-tagged
+ * slots (clear() is O(1)), and a multiplicative hash. Membership
+ * answers are exactly those of a set — results are bit-identical.
+ */
+
+#ifndef STOREMLP_CORE_LINE_SET_HH
+#define STOREMLP_CORE_LINE_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace storemlp
+{
+
+/** Insert/contains/clear set of uint64 keys; no per-key erase. */
+class LineSet
+{
+  public:
+    LineSet() : _slots(kInitialSlots) {}
+
+    bool empty() const { return _size == 0; }
+    uint64_t size() const { return _size; }
+
+    /** Drop all keys (O(1): stale slots expire by epoch). */
+    void
+    clear()
+    {
+        ++_epoch;
+        _size = 0;
+    }
+
+    bool
+    contains(uint64_t key) const
+    {
+        uint64_t mask = _slots.size() - 1;
+        for (uint64_t i = hashOf(key) & mask;; i = (i + 1) & mask) {
+            const Slot &s = _slots[i];
+            if (s.epoch != _epoch)
+                return false;
+            if (s.key == key)
+                return true;
+        }
+    }
+
+    /** Set-style count (0 or 1), mirroring std::unordered_set. */
+    uint64_t count(uint64_t key) const { return contains(key) ? 1 : 0; }
+
+    void
+    insert(uint64_t key)
+    {
+        uint64_t mask = _slots.size() - 1;
+        for (uint64_t i = hashOf(key) & mask;; i = (i + 1) & mask) {
+            Slot &s = _slots[i];
+            if (s.epoch != _epoch) {
+                s.key = key;
+                s.epoch = _epoch;
+                ++_size;
+                if (_size * 2 > _slots.size())
+                    grow();
+                return;
+            }
+            if (s.key == key)
+                return;
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        uint64_t epoch = 0; ///< occupied iff equal to the set's epoch
+    };
+
+    static constexpr uint64_t kInitialSlots = 64; // power of two
+
+    static uint64_t
+    hashOf(uint64_t key)
+    {
+        // Fibonacci multiplicative hash; keys are line addresses whose
+        // low bits are zero, so multiply-and-shift spreads them well.
+        return (key * 0x9e3779b97f4a7c15ULL) >> 32;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(_slots);
+        _slots.assign(old.size() * 2, Slot{});
+        uint64_t mask = _slots.size() - 1;
+        ++_epoch;
+        for (const Slot &s : old) {
+            if (s.epoch != _epoch - 1)
+                continue;
+            for (uint64_t i = hashOf(s.key) & mask;; i = (i + 1) & mask) {
+                if (_slots[i].epoch != _epoch) {
+                    _slots[i].key = s.key;
+                    _slots[i].epoch = _epoch;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Slot> _slots;
+    uint64_t _size = 0;
+    uint64_t _epoch = 1; ///< starts above the zero-initialized slots
+
+    friend class LineSetTestPeer;
+};
+
+} // namespace storemlp
+
+#endif // STOREMLP_CORE_LINE_SET_HH

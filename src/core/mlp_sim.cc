@@ -34,6 +34,16 @@ MlpSimulator::MlpSimulator(const SimConfig &config, ChipNode &chip,
             "MlpSimulator: SLE and transactional memory are mutually "
             "exclusive");
     }
+    for (size_t c = 0; c < static_cast<size_t>(InstClass::NumClasses);
+         ++c) {
+        ClassPlan &p = _plan[c];
+        p.eff = serializeEffect(static_cast<InstClass>(c),
+                                _cfg.memoryModel);
+        p.serializing = p.eff.pipelineDrain || p.eff.storeDrain;
+        p.isStore = isStoreClass(static_cast<InstClass>(c));
+    }
+    _elisionActive = _cfg.sle || _tm.enabled();
+    _rob.reset(_cfg.robSize);
 }
 
 bool
@@ -66,6 +76,7 @@ void
 MlpSimulator::setPeerHook(std::function<void(uint64_t)> hook)
 {
     _peerHook = std::move(hook);
+    _peerActive = static_cast<bool>(_peerHook);
 }
 
 void
@@ -75,10 +86,8 @@ MlpSimulator::setEpochListener(EpochListener listener)
 }
 
 void
-MlpSimulator::notePeerProgress()
+MlpSimulator::peerTick()
 {
-    if (!_peerHook)
-        return;
     if (++_peerPending >= kPeerQuantum) {
         _peerHook(_peerPending);
         _peerPending = 0;
@@ -125,20 +134,20 @@ MlpSimulator::resolveGeneration()
     }
 
     // ROB: waiting loads complete; deferred work replays in order.
-    for (auto &e : _rob) {
+    _rob.forEach([this](RobEntry &e) {
         if (e.state == RobState::WaitMiss) {
             e.state = RobState::Done;
             if (_waitLoadCount)
                 --_waitLoadCount;
         }
-    }
-    for (auto &e : _rob) {
+    });
+    _rob.forEach([this](RobEntry &e) {
         if (e.state == RobState::Deferred) {
             assert(_deferredCount);
             --_deferredCount;
             executeEntry(e, true);
         }
-    }
+    });
 
     drainPipeline();
 }
@@ -434,7 +443,7 @@ MlpSimulator::executeEntry(RobEntry &e, bool replay)
             e.state = RobState::WaitMiss;
             ++_waitLoadCount;
             _poison.set(e.dst);
-        } else if (_inflightLines.count(line)) {
+        } else if (!_inflightLines.empty() && _inflightLines.count(line)) {
             // Hit-under-miss: the line is still in flight.
             e.state = RobState::WaitMiss;
             ++_waitLoadCount;
@@ -460,7 +469,11 @@ MlpSimulator::executeEntry(RobEntry &e, bool replay)
         }
         // Track address availability in the store buffer and fire the
         // prefetch-at-execute hook as soon as the address is known.
-        for (auto &sb : _sb.entries()) {
+        // Reverse scan: instIdx values are unique and the dispatch-time
+        // call always matches the newest entry, making it O(1).
+        auto &sb_entries = _sb.entries();
+        for (auto it = sb_entries.rbegin(); it != sb_entries.rend(); ++it) {
+            auto &sb = *it;
             if (sb.instIdx != e.idx)
                 continue;
             if (addr_ready && !sb.addrReady) {
@@ -496,10 +509,8 @@ MlpSimulator::executeEntry(RobEntry &e, bool replay)
 // ---------------------------------------------------------------------
 
 bool
-MlpSimulator::handleSerializing(TraceCursor &cur, const TraceRecord &r,
-                                SerializeEffect eff)
+MlpSimulator::handleSerializing(TraceCursor &cur, SerializeEffect eff)
 {
-    (void)r;
     auto ready = [&]() {
         if (eff.pipelineDrain && !_rob.empty())
             return false;
@@ -535,7 +546,8 @@ MlpSimulator::handleSerializing(TraceCursor &cur, const TraceRecord &r,
 // ---------------------------------------------------------------------
 
 void
-MlpSimulator::dispatch(TraceCursor &cur, const TraceRecord &r)
+MlpSimulator::dispatch(TraceCursor &cur, uint64_t pc, uint64_t addr,
+                       InstClass cls, uint32_t meta)
 {
     _cycle += _cfg.cpiOnChip;
     if (_collect) {
@@ -543,27 +555,32 @@ MlpSimulator::dispatch(TraceCursor &cur, const TraceRecord &r)
         _res.onChipCycles += _cfg.cpiOnChip;
     }
 
-    Sle::Action act = elideAction(_i);
-    if (_tm.enabled() && _tm.abortsAt(_i)) {
-        // Aborted transaction: roll back and retry with the lock
-        // held (the instruction then executes on the locked path).
-        _cycle += _tm.abortPenalty();
-        if (_collect)
-            ++_res.tmAborts;
-    }
-    if (act == Sle::Action::Nop) {
-        // Elided release store / acquire auxiliary / fence: retires as
-        // a NOP with no memory or serialization effect.
-        if (_collect && _sle.enabled())
-            _res.elidedLocks = _sle.elidedAcquires();
-        return;
-    }
+    uint8_t dst = meta & 0xff;
+    uint8_t src1 = (meta >> 8) & 0xff;
+    uint8_t src2 = (meta >> 16) & 0xff;
+    uint8_t flags = meta >> 24;
 
-    InstClass cls = r.cls;
-    if (act == Sle::Action::AcquireAsLoad) {
-        cls = InstClass::Load; // casa/lwarx becomes a regular load
-        if (_collect)
-            _res.elidedLocks = _sle.elidedAcquires();
+    if (_elisionActive) {
+        Sle::Action act = elideAction(_i);
+        if (_tm.enabled() && _tm.abortsAt(_i)) {
+            // Aborted transaction: roll back and retry with the lock
+            // held (the instruction then executes on the locked path).
+            _cycle += _tm.abortPenalty();
+            if (_collect)
+                ++_res.tmAborts;
+        }
+        if (act == Sle::Action::Nop) {
+            // Elided release store / acquire auxiliary / fence: retires
+            // as a NOP with no memory or serialization effect.
+            if (_collect && _sle.enabled())
+                _res.elidedLocks = _sle.elidedAcquires();
+            return;
+        }
+        if (act == Sle::Action::AcquireAsLoad) {
+            cls = InstClass::Load; // casa/lwarx becomes a regular load
+            if (_collect)
+                _res.elidedLocks = _sle.elidedAcquires();
+        }
     }
 
     if (cls == InstClass::Lwsync) {
@@ -573,21 +590,21 @@ MlpSimulator::dispatch(TraceCursor &cur, const TraceRecord &r)
 
     RobEntry e;
     e.idx = _i;
-    e.addr = r.addr;
+    e.addr = addr;
     e.cls = cls;
-    e.dst = r.dst;
-    e.src1 = r.src1;
-    e.src2 = r.src2;
+    e.dst = dst;
+    e.src1 = src1;
+    e.src2 = src2;
     e.isStore = isStoreClass(cls);
-    e.release = r.lockRelease();
+    e.release = (flags & kFlagLockRelease) != 0;
 
     if (cls == InstClass::Branch) {
         if (_collect)
             ++_res.branches;
-        bool correct = _bp.predictAndUpdate(r.pc, r.taken());
+        bool correct = _bp.predictAndUpdate(pc, (flags & kFlagTaken) != 0);
         if (!correct && _collect)
             ++_res.branchMispredicts;
-        if (poisoned(r.src1, r.src2)) {
+        if (poisoned(src1, src2)) {
             e.state = RobState::Deferred;
             ++_deferredCount;
             e.mispredCounted = !correct;
@@ -601,13 +618,16 @@ MlpSimulator::dispatch(TraceCursor &cur, const TraceRecord &r)
         if (!correct)
             _cycle += _cfg.mispredictPenalty;
         e.state = RobState::Done;
-        _rob.push_back(e);
+        // A resolved branch at the ROB head would retire immediately
+        // in drainPipeline with no side effects; skip the round trip.
+        if (!_rob.empty())
+            _rob.push_back(e);
         return;
     }
 
     if (e.isStore) {
-        bool addr_ready = !_poison.test(r.src1);
-        SbEntry &sb = _sb.push(r.addr, lineOf(r.addr), _i, addr_ready,
+        bool addr_ready = !_poison.test(src1);
+        SbEntry &sb = _sb.push(addr, lineOf(addr), _i, addr_ready,
                                e.release);
         if (addr_ready && !_cfg.perfectStores &&
             _cfg.storePrefetch == StorePrefetch::AtExecute &&
@@ -627,45 +647,115 @@ MlpSimulator::dispatch(TraceCursor &cur, const TraceRecord &r)
     }
 
     executeEntry(e, false);
+    // Same immediate-retire shortcut: a Done non-store entering an
+    // empty ROB is popped by the very next drainPipeline with no
+    // observable effect (commitStores is idempotent at fixpoint).
+    if (e.state == RobState::Done && !e.isStore && _rob.empty())
+        return;
     _rob.push_back(e);
 }
 
 bool
 MlpSimulator::stepOne(TraceCursor &cur)
 {
-    const TraceRecord *rp = cur.tryAt(_i);
-    if (!rp)
+    const TraceCursor::LaneView *v = cur.view(_i);
+    if (!v)
         return false; // end of stream
 
-    checkQuietResolve();
+    if (_gen.open)
+        checkQuietResolve();
 
-    const TraceRecord &r = *rp;
+    // Linear lane reads: pc/addr/cls/meta for this record. Copied to
+    // locals up front — terminate() may run the scout, which slides
+    // the cursor's lane window forward.
+    uint64_t off = _i - v->first;
+    uint64_t pc = v->pc[off];
+    uint64_t addr = v->addr[off];
+    uint32_t meta = v->meta[off];
+    InstClass cls = static_cast<InstClass>(v->cls[off]);
+    const ClassPlan &plan = _plan[v->cls[off]];
 
     // ---- fetch ----
     if (!_skipFetch) {
-        MissLevel lvl = _chip.instFetch(r.pc);
+        MissLevel lvl = _chip.instFetch(pc);
         if (lvl == MissLevel::OffChip) {
             if (_collect)
                 ++_res.missInsts;
             onMiss(MissKind::Inst);
-            _inflightLines.insert(lineOf(r.pc));
+            _inflightLines.insert(lineOf(pc));
             _skipFetch = true; // resume here after the stall
             terminate(cur, TermCond::InstructionMiss);
             return true;
         }
     }
 
+    // ---- quiet-machine fast path ----
+    // With no generation open, an empty ROB/SQ (which implies an empty
+    // SB and zero deferred/waiting counts), no poison, and elision off,
+    // an Alu, Branch, or hitting Load reduces to: pay the on-chip CPI,
+    // touch the predictor/cache, retire immediately. The general path
+    // below provably does nothing else in this state — the window
+    // cannot be blocked, the entry would retire from an empty ROB on
+    // the spot, and the tail drain is skipped — so the shortcut is
+    // bit-identical while skipping entry construction and executeEntry.
+    if (!_gen.open && !_elisionActive && _rob.empty() && _sq.empty() &&
+        _poison.empty() &&
+        (cls == InstClass::Alu || cls == InstClass::Branch ||
+         cls == InstClass::Load)) {
+        _cycle += _cfg.cpiOnChip;
+        if (_collect) {
+            ++_res.instructions;
+            _res.onChipCycles += _cfg.cpiOnChip;
+        }
+        if (cls == InstClass::Branch) {
+            if (_collect)
+                ++_res.branches;
+            bool correct =
+                _bp.predictAndUpdate(pc, (meta >> 24) & kFlagTaken);
+            if (!correct) {
+                if (_collect)
+                    ++_res.branchMispredicts;
+                _cycle += _cfg.mispredictPenalty;
+            }
+        } else if (cls == InstClass::Load) {
+            ChipNode::LoadOutcome out = _chip.load(addr);
+            if (out.level == MissLevel::OffChip) {
+                // Miss: same effects as executeEntry's load-miss arm,
+                // and the entry does enter the (empty) ROB.
+                if (_collect)
+                    ++_res.missLoads;
+                onMiss(MissKind::Load);
+                _inflightLines.insert(lineOf(addr));
+                RobEntry e;
+                e.idx = _i;
+                e.addr = addr;
+                e.cls = cls;
+                e.dst = meta & 0xff;
+                e.src1 = (meta >> 8) & 0xff;
+                e.src2 = (meta >> 16) & 0xff;
+                e.release = ((meta >> 24) & kFlagLockRelease) != 0;
+                e.state = RobState::WaitMiss;
+                ++_waitLoadCount;
+                _poison.set(e.dst);
+                _rob.push_back(e);
+            }
+        }
+        ++_i;
+        _skipFetch = false;
+        notePeerProgress();
+        return true;
+    }
+
     // ---- serializing instructions: pre-execution barrier ----
     // SLE removes the serializing semantics of elided lock sequences.
-    SerializeEffect eff = serializeEffect(r.cls, _cfg.memoryModel);
-    if ((eff.pipelineDrain || eff.storeDrain) && !elidedAt(_i)) {
-        if (!handleSerializing(cur, r, eff))
+    if (plan.serializing && !elidedAt(_i)) {
+        if (!handleSerializing(cur, plan.eff))
             return true; // retry after the stall / drain progress
     }
 
     // ---- dispatch resource checks ----
     // Elided stores never enter the store buffer.
-    bool needs_sb = isStoreClass(r.cls) && !elidedAt(_i);
+    bool needs_sb = plan.isStore && !(_elisionActive && elidedAt(_i));
     auto window_blocked = [&] {
         return _rob.size() >= _cfg.robSize ||
             _deferredCount >= _cfg.issueWindowSize ||
@@ -695,11 +785,29 @@ MlpSimulator::stepOne(TraceCursor &cur)
     }
 
     // ---- dispatch ----
-    dispatch(cur, r);
+    dispatch(cur, pc, addr, cls, meta);
     ++_i;
     _skipFetch = false;
     notePeerProgress();
-    drainPipeline();
+    // drainPipeline is a provable no-op unless the ROB head is
+    // retirable or the store-queue head can commit; skip it then. (An
+    // empty ROB implies an empty store buffer: every SB entry is owned
+    // by a ROB store.) Under WC, commitStores can classify mid-queue
+    // entries via L2 probes, so run it whenever the queue is nonempty.
+    bool rob_can = !_rob.empty() &&
+        _rob.front().state == RobState::Done &&
+        (!_rob.front().isStore || !_sq.full());
+    bool sq_can = false;
+    if (!_sq.empty()) {
+        if (inOrderCommit(_cfg.memoryModel)) {
+            const SqEntry &h = _sq.head();
+            sq_can = !(h.classified && h.missing && _gen.open);
+        } else {
+            sq_can = true;
+        }
+    }
+    if (rob_can || sq_can)
+        drainPipeline();
     return true;
 }
 
@@ -717,18 +825,34 @@ MlpSimulator::process(TraceCursor &cur, uint64_t begin, uint64_t end,
         resolveGeneration();
     _i = begin;
 
+    // Bookkeeping — chunk release and the forward-progress guard —
+    // runs at batch boundaries instead of every step. The batch is
+    // bounded in *iterations*, not dispatched instructions, because
+    // stall paths legitimately retry the same index; and since `_i`
+    // and `_cycle` are both monotone, equal snapshots across a whole
+    // batch prove the batch made no progress at all, so the
+    // no-forward-progress diagnostic keeps its ~100k-iteration fuse.
+    constexpr uint64_t kBookkeepQuantum = 1024;
     uint64_t stuck = 0;
     uint64_t last_i = ~0ULL;
     double last_cycle = -1.0;
 
     while (_i < end) {
-        if (!stepOne(cur))
-            break; // end of stream
+        bool eos = false;
+        for (uint64_t n = 0; n < kBookkeepQuantum && _i < end; ++n) {
+            if (!stepOne(cur)) {
+                eos = true;
+                break;
+            }
+        }
         // Chunks wholly behind the dispatch point are never read
         // again (lookahead only runs forward): release them.
         cur.trim(_i);
+        if (eos)
+            break;
         if (_i == last_i && _cycle == last_cycle) {
-            if (++stuck > 100000) {
+            stuck += kBookkeepQuantum;
+            if (stuck > 100000) {
                 throw std::logic_error(
                     "MlpSimulator: no forward progress at index " +
                     std::to_string(_i));

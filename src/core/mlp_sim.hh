@@ -19,9 +19,10 @@
 #define STOREMLP_CORE_MLP_SIM_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_set>
+#include <vector>
+
+#include "core/line_set.hh"
 
 #include "coherence/chip.hh"
 #include "consistency/sle.hh"
@@ -143,6 +144,49 @@ class MlpSimulator
         bool mispredCounted = false;
     };
 
+    /**
+     * Fixed-capacity ring buffer for the ROB. Dispatch never pushes
+     * past robSize (the window check fires first), so capacity is
+     * known up front; versus std::deque this keeps the whole window
+     * in one contiguous allocation and makes push/pop/front a couple
+     * of masked index operations.
+     */
+    class RobRing
+    {
+      public:
+        /** Size for `capacity` entries (rounded up to a power of 2). */
+        void
+        reset(uint32_t capacity)
+        {
+            uint32_t cap = 1;
+            while (cap < capacity + 1)
+                cap <<= 1;
+            _buf.resize(cap);
+            _mask = cap - 1;
+            _head = _tail = 0;
+        }
+        bool empty() const { return _head == _tail; }
+        uint32_t size() const { return _tail - _head; }
+        RobEntry &front() { return _buf[_head & _mask]; }
+        const RobEntry &front() const { return _buf[_head & _mask]; }
+        void push_back(const RobEntry &e) { _buf[_tail++ & _mask] = e; }
+        void pop_front() { ++_head; }
+        /** Visit entries oldest-first; `fn` may mutate them. */
+        template <typename Fn>
+        void
+        forEach(Fn &&fn)
+        {
+            for (uint32_t i = _head; i != _tail; ++i)
+                fn(_buf[i & _mask]);
+        }
+
+      private:
+        std::vector<RobEntry> _buf;
+        uint32_t _mask = 0;
+        uint32_t _head = 0; ///< free-running; wrap via _mask
+        uint32_t _tail = 0;
+    };
+
     /** Provisional epoch in flight. */
     struct Generation
     {
@@ -155,14 +199,27 @@ class MlpSimulator
         uint64_t total() const { return loads + stores + insts; }
     };
 
+    /**
+     * Per-InstClass dispatch plan, precomputed from the config in the
+     * constructor so the hot loop reads one table entry instead of
+     * re-deriving serialization/store behavior per record.
+     */
+    struct ClassPlan
+    {
+        SerializeEffect eff;
+        bool serializing = false; ///< eff.pipelineDrain || storeDrain
+        bool isStore = false;
+    };
+
     // ---- main loop steps ----
     /** One fetch/dispatch step; false once _i is past the stream. */
     bool stepOne(TraceCursor &cur);
     /** Execute (or defer) the record at _rob entry e; replay-safe. */
     void executeEntry(RobEntry &e, bool replay);
-    void dispatch(TraceCursor &cur, const TraceRecord &r);
-    bool handleSerializing(TraceCursor &cur, const TraceRecord &r,
-                           SerializeEffect eff);
+    /** Dispatch one record, handed in as lane values (see stepOne). */
+    void dispatch(TraceCursor &cur, uint64_t pc, uint64_t addr,
+                  InstClass cls, uint32_t meta);
+    bool handleSerializing(TraceCursor &cur, SerializeEffect eff);
 
     // ---- retirement / commit ----
     void drainPipeline();
@@ -195,16 +252,28 @@ class MlpSimulator
     /** Combined elision action (TM actions map onto SLE's). */
     Sle::Action elideAction(uint64_t idx);
     bool poisoned(uint8_t src1, uint8_t src2) const;
-    void notePeerProgress();
+    /**
+     * Branch-free in the common single-core case: a dead bool test
+     * when no peer hook is installed. peerTick keeps the exact
+     * kPeerQuantum cadence dual-core determinism depends on.
+     */
+    void notePeerProgress()
+    {
+        if (_peerActive)
+            peerTick();
+    }
+    void peerTick();
     uint64_t lineOf(uint64_t addr) const { return _chip.hierarchy().lineAddr(addr); }
 
     SimConfig _cfg;
     ChipNode &_chip;
     Sle _sle;
     TransactionalMemory _tm;
+    ClassPlan _plan[static_cast<size_t>(InstClass::NumClasses)];
+    bool _elisionActive = false; ///< SLE or TM installed
 
     // pipeline state
-    std::deque<RobEntry> _rob;
+    RobRing _rob;
     StoreBuffer _sb;
     StoreQueue _sq;
     BranchPredictor _bp;
@@ -215,7 +284,7 @@ class MlpSimulator
 
     // epoch state
     Generation _gen;
-    std::unordered_set<uint64_t> _inflightLines;
+    LineSet _inflightLines;
 
     // loop state
     uint64_t _i = 0;
@@ -229,6 +298,7 @@ class MlpSimulator
 
     // peer stepping
     std::function<void(uint64_t)> _peerHook;
+    bool _peerActive = false; ///< _peerHook is installed
     uint64_t _peerPending = 0;
     static constexpr uint64_t kPeerQuantum = 64;
 

@@ -79,25 +79,34 @@ MlpSimulator::lookahead(TraceCursor &cur, uint64_t start,
     RegPoison scratch = _poison;
 
     for (uint64_t j = start; budget > 0; ++j, --budget) {
-        const TraceRecord *rp = cur.tryAt(j);
-        if (!rp)
+        const TraceCursor::LaneView *v = cur.view(j);
+        if (!v)
             break; // end of stream bounds the lookahead
-        const TraceRecord &r = *rp;
+
+        // Linear lane reads, as in stepOne.
+        uint64_t off = j - v->first;
+        uint64_t pc = v->pc[off];
+        uint64_t addr = v->addr[off];
+        uint32_t meta = v->meta[off];
+        uint8_t dst = meta & 0xff;
+        uint8_t src1 = (meta >> 8) & 0xff;
+        uint8_t src2 = (meta >> 16) & 0xff;
+        bool taken = (meta >> 24) & kFlagTaken;
 
         // Frontend: a missing instruction fetch is prefetched (the
         // access installs the line) but stops the scout.
-        MissLevel flvl = _chip.instFetch(r.pc);
+        MissLevel flvl = _chip.instFetch(pc);
         if (flvl == MissLevel::OffChip) {
             if (_collect) {
                 ++_res.missInsts;
                 ++_res.scoutPrefetches;
             }
             onMiss(MissKind::Inst);
-            _inflightLines.insert(lineOf(r.pc));
+            _inflightLines.insert(lineOf(pc));
             break;
         }
 
-        InstClass cls = r.cls;
+        InstClass cls = static_cast<InstClass>(v->cls[off]);
         if (elidedAt(j)) {
             // Acquires act as loads; everything else elides to a NOP.
             if (cls == InstClass::AtomicCas ||
@@ -111,15 +120,15 @@ MlpSimulator::lookahead(TraceCursor &cur, uint64_t start,
         bool wrong_path = false;
         switch (cls) {
           case InstClass::Alu:
-            if (scratch.anyPoisoned(r.src1, r.src2))
-                scratch.set(r.dst);
+            if (scratch.anyPoisoned(src1, src2))
+                scratch.set(dst);
             else
-                scratch.clear(r.dst);
+                scratch.clear(dst);
             break;
 
           case InstClass::Branch: {
-            bool correct = _bp.predictPeek(r.pc, r.taken());
-            if (!correct && scratch.anyPoisoned(r.src1, r.src2)) {
+            bool correct = _bp.predictPeek(pc, taken);
+            if (!correct && scratch.anyPoisoned(src1, src2)) {
                 // Unresolvable misprediction: the scout would follow
                 // the wrong path from here; stop.
                 wrong_path = true;
@@ -130,14 +139,14 @@ MlpSimulator::lookahead(TraceCursor &cur, uint64_t start,
           case InstClass::Load:
           case InstClass::LoadLocked:
           case InstClass::AtomicCas: {
-            if (scratch.test(r.src1)) {
+            if (scratch.test(src1)) {
                 // Address depends on unavailable data: skip; the
                 // consumer chain is poisoned.
-                scratch.set(r.dst);
+                scratch.set(dst);
                 break;
             }
-            ChipNode::LoadOutcome out = _chip.load(r.addr);
-            uint64_t line = lineOf(r.addr);
+            ChipNode::LoadOutcome out = _chip.load(addr);
+            uint64_t line = lineOf(addr);
             if (out.level == MissLevel::OffChip) {
                 if (_collect) {
                     ++_res.missLoads;
@@ -145,11 +154,11 @@ MlpSimulator::lookahead(TraceCursor &cur, uint64_t start,
                 }
                 onMiss(MissKind::Load);
                 _inflightLines.insert(line);
-                scratch.set(r.dst); // value arrives after the stall
+                scratch.set(dst); // value arrives after the stall
             } else if (_inflightLines.count(line)) {
-                scratch.set(r.dst);
+                scratch.set(dst);
             } else {
-                scratch.clear(r.dst);
+                scratch.clear(dst);
             }
             if (cls == InstClass::AtomicCas && prefetch_stores) {
                 // The store half of the atomic also wants ownership.
@@ -163,9 +172,9 @@ MlpSimulator::lookahead(TraceCursor &cur, uint64_t start,
           case InstClass::StoreCond: {
             if (!prefetch_stores)
                 break; // stores do not update state in scout mode
-            if (scratch.test(r.src1))
+            if (scratch.test(src1))
                 break; // address unavailable
-            uint64_t line = lineOf(r.addr);
+            uint64_t line = lineOf(addr);
             if (_inflightLines.count(line))
                 break;
             bool present = _chip.prefetchLine(line, true);

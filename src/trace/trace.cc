@@ -5,8 +5,47 @@
 
 #include "trace/trace.hh"
 
+#include <atomic>
+
 namespace storemlp
 {
+
+void
+deriveLanes(const TraceRecord *data, uint64_t n, TraceLanes &out)
+{
+    out.pc.resize(n);
+    out.addr.resize(n);
+    out.cls.resize(n);
+    out.meta.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        const TraceRecord &r = data[i];
+        out.pc[i] = r.pc;
+        out.addr[i] = r.addr;
+        out.cls[i] = static_cast<uint8_t>(r.cls);
+        out.meta[i] = static_cast<uint32_t>(r.dst) |
+            (static_cast<uint32_t>(r.src1) << 8) |
+            (static_cast<uint32_t>(r.src2) << 16) |
+            (static_cast<uint32_t>(r.flags) << 24);
+    }
+}
+
+std::shared_ptr<const TraceLanes>
+Trace::lanes() const
+{
+    std::shared_ptr<const TraceLanes> l = std::atomic_load(&_lanes);
+    if (l)
+        return l;
+    auto built = std::make_shared<TraceLanes>();
+    deriveLanes(_records.data(), _records.size(), *built);
+    std::shared_ptr<const TraceLanes> candidate = std::move(built);
+    // First deriver wins; a concurrent loser's copy is simply dropped.
+    std::shared_ptr<const TraceLanes> expected;
+    if (std::atomic_compare_exchange_strong(&_lanes, &expected,
+                                            candidate)) {
+        return candidate;
+    }
+    return expected;
+}
 
 const char *
 instClassName(InstClass c)

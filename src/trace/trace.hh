@@ -7,6 +7,7 @@
 #define STOREMLP_TRACE_TRACE_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,22 @@
 
 namespace storemlp
 {
+
+/**
+ * Structure-of-arrays mirror of a record sequence: one contiguous
+ * lane per field the simulation hot loop reads. `meta` packs the
+ * register/flag bytes as dst | src1<<8 | src2<<16 | flags<<24.
+ */
+struct TraceLanes
+{
+    std::vector<uint64_t> pc;
+    std::vector<uint64_t> addr;
+    std::vector<uint8_t> cls;
+    std::vector<uint32_t> meta;
+};
+
+/** Derive the SoA lanes of `n` records starting at `data`. */
+void deriveLanes(const TraceRecord *data, uint64_t n, TraceLanes &out);
 
 /**
  * A dynamic instruction trace plus summary statistics. Traces are
@@ -33,8 +50,23 @@ class Trace
     bool empty() const { return _records.empty(); }
     const TraceRecord &operator[](size_t i) const { return _records[i]; }
 
-    void append(const TraceRecord &r) { _records.push_back(r); }
+    void
+    append(const TraceRecord &r)
+    {
+        _records.push_back(r);
+        // Building invalidates any derived lanes (single-threaded by
+        // the immutable-once-built contract).
+        if (_lanes)
+            _lanes = nullptr;
+    }
     void reserve(size_t n) { _records.reserve(n); }
+
+    /**
+     * Whole-trace SoA lanes, derived once on first use and cached.
+     * Thread-safe for concurrent readers of a built trace (sweep
+     * workers sharing one materialized trace). Copies share the cache.
+     */
+    std::shared_ptr<const TraceLanes> lanes() const;
 
     /** Summary counts used by Table 1 style reporting and tests. */
     struct Mix
@@ -50,6 +82,8 @@ class Trace
 
   private:
     std::vector<TraceRecord> _records;
+    /** Lazily derived lane cache; accessed via std::atomic_load. */
+    mutable std::shared_ptr<const TraceLanes> _lanes;
 };
 
 /**

@@ -14,6 +14,25 @@ namespace storemlp
 {
 
 // ---------------------------------------------------------------------
+// TraceChunk
+// ---------------------------------------------------------------------
+
+TraceChunk::LaneRefs
+TraceChunk::lanes() const
+{
+    if (_extLanes) {
+        return {_extLanes->pc.data() + _extOff,
+                _extLanes->addr.data() + _extOff,
+                _extLanes->cls.data() + _extOff,
+                _extLanes->meta.data() + _extOff};
+    }
+    std::call_once(_lanesOnce,
+                   [this] { deriveLanes(data, count, _lanes); });
+    return {_lanes.pc.data(), _lanes.addr.data(), _lanes.cls.data(),
+            _lanes.meta.data()};
+}
+
+// ---------------------------------------------------------------------
 // TraceCursor
 // ---------------------------------------------------------------------
 
@@ -41,10 +60,31 @@ TraceCursor::slowAt(uint64_t idx)
         _end = c->firstIdx + c->count;
         return nullptr;
     }
+    if (c->data != _curData) {
+        // The lane view aliases the current chunk; invalidate it so a
+        // stale window can never outlive a later trim().
+        _view.count = 0;
+        _curChunk = c.get();
+    }
     _curFirst = c->firstIdx;
     _curCount = c->count;
     _curData = c->data;
     return c->data + (idx - c->firstIdx);
+}
+
+const TraceCursor::LaneView *
+TraceCursor::slowView(uint64_t idx)
+{
+    if (!slowAt(idx))
+        return nullptr;
+    TraceChunk::LaneRefs refs = _curChunk->lanes();
+    _view.pc = refs.pc;
+    _view.addr = refs.addr;
+    _view.cls = refs.cls;
+    _view.meta = refs.meta;
+    _view.first = _curChunk->firstIdx;
+    _view.count = _curChunk->count;
+    return &_view;
 }
 
 // ---------------------------------------------------------------------
@@ -59,8 +99,11 @@ MaterializedSource::fetch(uint64_t chunk_idx)
     if (first >= size)
         return nullptr;
     uint64_t n = std::min<uint64_t>(_chunkInsts, size - first);
+    // Chunks borrow slices of the whole-trace lane cache, so lane
+    // derivation happens once per trace rather than once per run.
     return std::make_shared<const TraceChunk>(
-        first, _trace->records().data() + first, n, _owned);
+        first, _trace->records().data() + first, n, _owned,
+        _trace->lanes(), first);
 }
 
 // ---------------------------------------------------------------------

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -62,11 +63,19 @@ class TraceChunk
         count = _storage.size();
     }
 
-    /** Borrowed view; `backing` (if any) keeps the memory alive. */
+    /**
+     * Borrowed view; `backing` (if any) keeps the memory alive. When
+     * the caller already holds SoA lanes covering the records (e.g. a
+     * whole-trace lane cache), `ext_lanes`/`ext_off` borrow the slice
+     * starting at lane index `ext_off` instead of deriving a copy.
+     */
     TraceChunk(uint64_t first_idx, const TraceRecord *records,
-               uint64_t n, std::shared_ptr<const void> backing = nullptr)
+               uint64_t n, std::shared_ptr<const void> backing = nullptr,
+               std::shared_ptr<const TraceLanes> ext_lanes = nullptr,
+               uint64_t ext_off = 0)
         : firstIdx(first_idx), data(records), count(n),
-          _backing(std::move(backing))
+          _backing(std::move(backing)), _extLanes(std::move(ext_lanes)),
+          _extOff(ext_off)
     {
     }
 
@@ -80,9 +89,36 @@ class TraceChunk
     /** Approximate resident bytes (used for cache accounting). */
     uint64_t bytes() const { return count * sizeof(TraceRecord); }
 
+    /**
+     * Pointers to this chunk's SoA lanes (see TraceLanes), so the
+     * engine's record fetch and the scout's lookahead scan are linear
+     * lane walks instead of strided struct reads. Index with
+     * `idx - firstIdx`.
+     */
+    struct LaneRefs
+    {
+        const uint64_t *pc;
+        const uint64_t *addr;
+        const uint8_t *cls;
+        const uint32_t *meta;
+    };
+
+    /**
+     * Lanes for this chunk: a borrowed slice when the creator supplied
+     * one, otherwise derived once on first use (thread-safe: chunks
+     * are shared across sweep workers via TraceCache).
+     */
+    LaneRefs lanes() const;
+
   private:
     std::vector<TraceRecord> _storage;
     std::shared_ptr<const void> _backing;
+
+    std::shared_ptr<const TraceLanes> _extLanes; ///< borrowed lanes
+    uint64_t _extOff = 0; ///< index of data[0] within *_extLanes
+
+    mutable TraceLanes _lanes; ///< derived lanes (no-_extLanes case)
+    mutable std::once_flag _lanesOnce;
 };
 
 /**
@@ -159,6 +195,28 @@ class TraceCursor
         return slowAt(idx);
     }
 
+    /**
+     * Structure-of-arrays window covering `idx`. Index the lanes with
+     * `idx - first`; the view stays valid until the next cursor call.
+     * nullptr once `idx` is past the end.
+     */
+    struct LaneView
+    {
+        const uint64_t *pc = nullptr;
+        const uint64_t *addr = nullptr;
+        const uint8_t *cls = nullptr;
+        const uint32_t *meta = nullptr;
+        uint64_t first = 0;
+        uint64_t count = 0;
+    };
+    const LaneView *
+    view(uint64_t idx)
+    {
+        if (idx - _view.first < _view.count)
+            return &_view;
+        return slowView(idx);
+    }
+
     /** Drop held chunks that end at or below `keep_from`. */
     void
     trim(uint64_t keep_from)
@@ -178,6 +236,7 @@ class TraceCursor
 
   private:
     const TraceRecord *slowAt(uint64_t idx);
+    const LaneView *slowView(uint64_t idx);
 
     TraceSource &_src;
     uint64_t _chunk;
@@ -186,6 +245,8 @@ class TraceCursor
     uint64_t _curFirst = 0;
     uint64_t _curCount = 0;
     const TraceRecord *_curData = nullptr;
+    const TraceChunk *_curChunk = nullptr;
+    LaneView _view; ///< lane window over _curChunk (count 0 = unbuilt)
 
     std::map<uint64_t, std::shared_ptr<const TraceChunk>> _held;
     std::optional<uint64_t> _end;

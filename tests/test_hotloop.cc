@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Hot-loop equivalence suite: pins the simulator's observable results
+ * against goldens recorded *before* the throughput restructuring
+ * (SoA chunk lanes, devirtualized dispatch, cache way memos, batched
+ * bookkeeping), so any optimization that changes a single counter,
+ * histogram bucket or cycle count fails here.
+ *
+ * Every case renders its full stats registry (SimResult or RunOutput,
+ * machine counters included) to the schemaVersion-1 JSON text — whose
+ * number formatting round-trips exactly — and hashes it with FNV-1a.
+ * The hashes live in tests/golden/hotloop.golden; regenerate with
+ *
+ *   STOREMLP_HOTLOOP_REGEN=1 ./tests/test_hotloop
+ *
+ * ONLY when a semantic change is intended and reviewed. The matrix
+ * covers all shipped configs (PC1-PC3, WC1-WC3, scout, TM, SMAC,
+ * multi-chip peer traffic, sibling core), materialized vs generator vs
+ * on-disk v1/v3/v4 sources, chunk sizes 1 / non-divisor / default, and
+ * jobs=1 vs jobs=4 sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coherence/chip.hh"
+#include "core/mlp_sim.hh"
+#include "core/runner.hh"
+#include "core/sweep.hh"
+#include "stats/stats_json.hh"
+#include "trace/generator.hh"
+#include "trace/lock_detector.hh"
+#include "trace/trace_file_source.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_source.hh"
+
+using namespace storemlp;
+
+namespace
+{
+
+constexpr uint64_t kWarmup = 20000;
+constexpr uint64_t kMeasure = 40000;
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::string
+hashRunOutput(const RunOutput &out)
+{
+    StatsRegistry reg;
+    out.exportStats(reg);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a(statsToJson(reg, {}, false))));
+    return buf;
+}
+
+std::string
+hashSimResult(const SimResult &res)
+{
+    StatsRegistry reg;
+    res.exportStats(reg);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(
+                      fnv1a(statsToJson(reg, {}, false))));
+    return buf;
+}
+
+RunSpec
+baseSpec(SimConfig cfg)
+{
+    RunSpec spec;
+    spec.profile = WorkloadProfile::database();
+    spec.config = std::move(cfg);
+    spec.warmupInsts = kWarmup;
+    spec.measureInsts = kMeasure;
+    return spec;
+}
+
+/** name -> stats hash, in deterministic order. */
+using CaseMap = std::map<std::string, std::string>;
+
+/**
+ * The full case matrix. Kept in one function so the regen path and
+ * the compare path can never drift apart.
+ */
+CaseMap
+buildCases()
+{
+    CaseMap out;
+
+    // ---- every shipped config, materialized path ----
+    struct NamedCfg
+    {
+        const char *name;
+        SimConfig cfg;
+    };
+    const NamedCfg shipped[] = {
+        {"pc1", SimConfig::defaults()},
+        {"pc2", SimConfig::pc2()},
+        {"pc3", SimConfig::pc3()},
+        {"wc1", SimConfig::wc1()},
+        {"wc2", SimConfig::wc2()},
+        {"wc3", SimConfig::wc3()},
+        {"pc1_sp0", SimConfig::defaults().withPrefetch(StorePrefetch::None)},
+        {"pc1_sp2",
+         SimConfig::defaults().withPrefetch(StorePrefetch::AtExecute)},
+        {"pc1_hws2", SimConfig::defaults().withScout(ScoutMode::Hws2)},
+        {"wc1_hws1", SimConfig::wc1().withScout(ScoutMode::Hws1)},
+    };
+    for (const NamedCfg &nc : shipped) {
+        RunSpec spec = baseSpec(nc.cfg);
+        out[std::string("run/") + nc.name] = hashRunOutput(Runner::run(spec));
+    }
+
+    // ---- transactional memory ----
+    {
+        RunSpec spec = baseSpec(SimConfig::defaults());
+        spec.config.tm.enabled = true;
+        out["run/tm"] = hashRunOutput(Runner::run(spec));
+    }
+
+    // ---- machine variants: SMAC, peer traffic, sibling core ----
+    {
+        RunSpec spec = baseSpec(SimConfig::defaults());
+        spec.numChips = 2;
+        spec.peerTraffic = true;
+        spec.smac = SmacConfig{};
+        out["run/smac_peer"] = hashRunOutput(Runner::run(spec));
+    }
+    {
+        RunSpec spec = baseSpec(SimConfig::defaults());
+        spec.numChips = 2;
+        spec.peerTraffic = true;
+        spec.siblingCore = true;
+        spec.smac = SmacConfig{};
+        out["run/smac_sibling"] = hashRunOutput(Runner::run(spec));
+    }
+
+    // ---- streaming (generator / WC-rewrite sources), chunk sizes ----
+    for (const char *model : {"pc", "wc"}) {
+        SimConfig cfg = model[0] == 'p' ? SimConfig::defaults()
+                                        : SimConfig::wc2();
+        for (uint64_t chunk : {uint64_t{1}, uint64_t{7777}, uint64_t{0}}) {
+            RunSpec spec = baseSpec(cfg);
+            auto src = Runner::makeSource(spec, chunk);
+            std::string name = std::string("stream/") + model + "_chunk" +
+                std::to_string(chunk);
+            out[name] = hashRunOutput(Runner::run(spec, *src));
+        }
+    }
+
+    // ---- on-disk containers v1 / v3 / v4, direct simulator runs ----
+    {
+        SyntheticTraceGenerator gen(WorkloadProfile::database(), 7);
+        Trace trace = gen.generate(kWarmup + kMeasure);
+        LockAnalysis locks = LockDetector().analyze(trace);
+        std::string base =
+            ::testing::TempDir() + "hotloop_equiv_" +
+            std::to_string(static_cast<unsigned>(::getpid()));
+        std::string v1 = base + "_v1.trc";
+        std::string v3 = base + "_v3.trc";
+        std::string v4 = base + "_v4.trc";
+        writeTraceFile(v1, trace);
+        writeTraceFileV3(v3, trace, "hotloop", /*compressed=*/true);
+        writeTraceFileV4(v4, trace, "hotloop");
+
+        const SimConfig cfgs[] = {SimConfig::defaults(), SimConfig::pc3()};
+        for (const SimConfig &cfg : cfgs) {
+            // Materialized reference.
+            {
+                ChipNode chip(HierarchyConfig{}, 0);
+                MlpSimulator sim(cfg, chip, &locks);
+                out[std::string("file/") + cfg.name + "_mat"] =
+                    hashSimResult(sim.run(trace, kWarmup));
+            }
+            struct FileCase
+            {
+                const char *tag;
+                const std::string *path;
+                uint64_t chunk;
+            };
+            const FileCase fcs[] = {
+                {"v1_default", &v1, 0},  {"v1_chunk7777", &v1, 7777},
+                {"v1_chunk1", &v1, 1},   {"v3_default", &v3, 0},
+                {"v3_chunk7777", &v3, 7777}, {"v4_file", &v4, 0},
+            };
+            for (const FileCase &fc : fcs) {
+                StreamingFileSource src(
+                    *fc.path, fc.chunk ? fc.chunk : kDefaultChunkInsts);
+                ChipNode chip(HierarchyConfig{}, 0);
+                MlpSimulator sim(cfg, chip, &locks);
+                out[std::string("file/") + cfg.name + "_" + fc.tag] =
+                    hashSimResult(sim.run(src, kWarmup));
+            }
+        }
+        std::remove(v1.c_str());
+        std::remove(v3.c_str());
+        std::remove(v4.c_str());
+    }
+
+    return out;
+}
+
+std::string
+goldenPath()
+{
+#ifdef STOREMLP_HOTLOOP_GOLDEN
+    return STOREMLP_HOTLOOP_GOLDEN;
+#else
+    return "hotloop.golden";
+#endif
+}
+
+CaseMap
+readGolden(const std::string &path)
+{
+    CaseMap out;
+    std::ifstream in(path);
+    std::string name, hash;
+    while (in >> name >> hash)
+        out[name] = hash;
+    return out;
+}
+
+TEST(HotloopEquivalence, BitIdenticalAgainstGolden)
+{
+    CaseMap cases = buildCases();
+    ASSERT_GE(cases.size(), 30u);
+
+    if (std::getenv("STOREMLP_HOTLOOP_REGEN")) {
+        std::ofstream outf(goldenPath());
+        ASSERT_TRUE(outf.good()) << "cannot write " << goldenPath();
+        for (const auto &[name, hash] : cases)
+            outf << name << " " << hash << "\n";
+        GTEST_SKIP() << "regenerated " << goldenPath();
+    }
+
+    CaseMap golden = readGolden(goldenPath());
+    ASSERT_FALSE(golden.empty())
+        << "golden file missing/empty: " << goldenPath()
+        << " (regen with STOREMLP_HOTLOOP_REGEN=1)";
+    EXPECT_EQ(golden.size(), cases.size());
+    for (const auto &[name, hash] : cases) {
+        auto it = golden.find(name);
+        ASSERT_NE(it, golden.end()) << "no golden entry for " << name;
+        EXPECT_EQ(it->second, hash)
+            << name << ": SimResult diverged from pre-optimization golden";
+    }
+}
+
+/**
+ * Parallel sweep determinism through the restructured hot loop: the
+ * same batch at jobs=1 and jobs=4, streamed and materialized, must be
+ * bit-identical (and hit the same goldens as each other).
+ */
+TEST(HotloopEquivalence, SweepJobsAndStreamingAgree)
+{
+    std::vector<RunSpec> specs;
+    for (const SimConfig &cfg :
+         {SimConfig::defaults(), SimConfig::wc1(),
+          SimConfig::defaults().withScout(ScoutMode::Hws2)}) {
+        RunSpec spec = baseSpec(cfg);
+        spec.warmupInsts = 10000;
+        spec.measureInsts = 20000;
+        specs.push_back(spec);
+    }
+
+    auto runWith = [&](unsigned jobs, bool streaming) {
+        TraceCache cache;
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.progress = false;
+        opts.streaming = streaming;
+        SweepEngine engine(opts, &cache);
+        return engine.run(specs);
+    };
+
+    auto ref = runWith(1, false);
+    for (unsigned jobs : {1u, 4u}) {
+        for (bool streaming : {false, true}) {
+            auto got = runWith(jobs, streaming);
+            ASSERT_EQ(got.size(), ref.size());
+            for (size_t i = 0; i < ref.size(); ++i) {
+                ASSERT_TRUE(got[i].ok);
+                EXPECT_EQ(hashRunOutput(got[i].output),
+                          hashRunOutput(ref[i].output))
+                    << "spec " << i << " jobs=" << jobs
+                    << " streaming=" << streaming;
+            }
+        }
+    }
+}
+
+} // namespace
