@@ -62,7 +62,7 @@ benchInit(int argc, char **argv, const char *tool)
 {
     io().tool = tool;
     tools::Cli cli(argc, argv, {
-        tools::kFormatFlag, tools::kOutFlag, tools::kCsvFlag,
+        tools::kFormatFlag, tools::kOutFlag,
         tools::kJobsFlag, tools::kWarmupFlag, tools::kMeasureFlag,
         {"stream", "",
          "run against streaming trace sources (O(chunk) trace\n"

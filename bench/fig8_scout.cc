@@ -24,13 +24,10 @@ main(int argc, char **argv)
 
     std::vector<RunSpec> specs;
     for (const auto &profile : workloads()) {
-        for (MemoryModel mm : {MemoryModel::ProcessorConsistency,
-                               MemoryModel::WeakConsistency}) {
+        for (bool wc : {false, true}) {
             for (ScoutMode sm : modes) {
                 SimConfig cfg =
-                    mm == MemoryModel::ProcessorConsistency
-                        ? SimConfig::defaults()
-                        : SimConfig::wc1();
+                    wc ? SimConfig::wc1() : SimConfig::defaults();
                 cfg.scout = sm;
 
                 RunSpec spec;
@@ -54,10 +51,9 @@ main(int argc, char **argv)
                         "perfect-store floor)");
         table.header({"model", "NoHWS", "HWS0", "HWS1", "HWS2"});
 
-        for (MemoryModel mm : {MemoryModel::ProcessorConsistency,
-                               MemoryModel::WeakConsistency}) {
+        for (const char *mm : {"PC", "WC"}) {
             table.beginRow();
-            table.cell(std::string(memoryModelName(mm)));
+            table.cell(std::string(mm));
             for (size_t m = 0; m < std::size(modes); ++m) {
                 double total = outs[idx++].sim.epochsPer1000();
                 double floor = outs[idx++].sim.epochsPer1000();

@@ -12,7 +12,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/runner.hh"
 #include "core/sweep.hh"
+#include "trace/trace_source.hh"
 
 using namespace storemlp;
 
@@ -120,8 +122,10 @@ BM_EpochLog(benchmark::State &state)
     bool enabled = state.range(0) != 0;
     if (enabled)
         spec.epochLog = &null_os;
+    Trace trace = Runner::buildTrace(spec);
     for (auto _ : state) {
-        RunOutput out = Runner::run(spec);
+        MaterializedSource src(trace);
+        RunOutput out = Runner::run(spec, src);
         benchmark::DoNotOptimize(out.sim.epochs);
     }
     state.SetItemsProcessed(state.iterations());

@@ -12,11 +12,23 @@
 
 #include "core/mlp_sim.hh"
 #include "core/runner.hh"
+#include "trace/trace_source.hh"
 #include "stats/table.hh"
 #include "trace/generator.hh"
 #include "trace/rewriter.hh"
 
 using namespace storemlp;
+
+namespace
+{
+RunOutput
+runOnce(const RunSpec &spec)
+{
+    Trace trace = Runner::buildTrace(spec);
+    MaterializedSource src(trace);
+    return Runner::run(spec, src);
+}
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -52,7 +64,7 @@ main(int argc, char **argv)
     for (Step step : {Step{"baseline", false, false},
                       Step{"+ prefetch past serializing", true, false},
                       Step{"+ SLE", true, true}}) {
-        auto run_model = [&](MemoryModel mm) {
+        auto run_model = [&](const ModelDescriptor &mm) {
             RunSpec spec;
             spec.profile = profile;
             spec.config = SimConfig::defaults();
@@ -61,10 +73,10 @@ main(int argc, char **argv)
             spec.config.sle = step.sle;
             spec.warmupInsts = insts / 2;
             spec.measureInsts = insts;
-            return Runner::run(spec).sim.epochsPer1000();
+            return runOnce(spec).sim.epochsPer1000();
         };
-        double pc = run_model(MemoryModel::ProcessorConsistency);
-        double wc = run_model(MemoryModel::WeakConsistency);
+        double pc = run_model(ModelDescriptor::pc());
+        double wc = run_model(ModelDescriptor::wc());
         table.beginRow();
         table.cell(std::string(step.name));
         table.cell(pc, 3);

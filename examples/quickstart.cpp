@@ -13,6 +13,7 @@
 #include <string>
 
 #include "core/runner.hh"
+#include "trace/trace_source.hh"
 
 using namespace storemlp;
 
@@ -54,7 +55,9 @@ main(int argc, char **argv)
               << "config:   paper default (PC, Sp1, SB16/SQ32, 8B "
                  "coalescing)\n\n";
 
-    RunOutput out = Runner::run(spec);
+    Trace trace = Runner::buildTrace(spec);
+    MaterializedSource src(trace);
+    RunOutput out = Runner::run(spec, src);
     out.sim.print(std::cout);
 
     std::cout << "\nmiss rates per 100 instructions (cf. Table 1):\n"

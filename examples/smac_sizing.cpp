@@ -11,9 +11,21 @@
 #include <iostream>
 
 #include "core/runner.hh"
+#include "trace/trace_source.hh"
 #include "stats/table.hh"
 
 using namespace storemlp;
+
+namespace
+{
+RunOutput
+runOnce(const RunSpec &spec)
+{
+    Trace trace = Runner::buildTrace(spec);
+    MaterializedSource src(trace);
+    return Runner::run(spec, src);
+}
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -57,7 +69,7 @@ main(int argc, char **argv)
                    3);
     };
 
-    emit("none", 0, Runner::run(base_spec()));
+    emit("none", 0, runOnce(base_spec()));
 
     for (uint32_t entries_k : {8u, 16u, 32u, 64u, 128u}) {
         RunSpec spec = base_spec();
@@ -65,13 +77,13 @@ main(int argc, char **argv)
         smac.entries = entries_k * 1024;
         spec.smac = smac;
         emit(std::to_string(entries_k) + "K entries",
-             uint64_t(entries_k) * 1024 * 8, Runner::run(spec));
+             uint64_t(entries_k) * 1024 * 8, runOnce(spec));
     }
 
     // The bandwidth foil: prefetch-at-execute without a SMAC.
     RunSpec sp2 = base_spec();
     sp2.config.storePrefetch = StorePrefetch::AtExecute;
-    emit("(Sp2 prefetch, no SMAC)", 0, Runner::run(sp2));
+    emit("(Sp2 prefetch, no SMAC)", 0, runOnce(sp2));
 
     table.print(std::cout);
 

@@ -12,9 +12,21 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "trace/trace_source.hh"
 #include "stats/table.hh"
 
 using namespace storemlp;
+
+namespace
+{
+RunOutput
+runOnce(const RunSpec &spec)
+{
+    Trace trace = Runner::buildTrace(spec);
+    MaterializedSource src(trace);
+    return Runner::run(spec, src);
+}
+} // namespace
 
 namespace
 {
@@ -95,7 +107,7 @@ main(int argc, char **argv)
         spec.smac = v.smac;
         spec.warmupInsts = insts / 2;
         spec.measureInsts = insts;
-        RunOutput out = Runner::run(spec);
+        RunOutput out = runOnce(spec);
         rows.push_back({v.name, out.sim.epochsPer1000(),
                         out.sim.offChipCpi(500),
                         static_cast<double>(out.l2Accesses) /

@@ -1,57 +1,360 @@
 /**
  * @file
- * Memory model policy implementation.
+ * Memory model descriptor implementation: preset table, spec-string
+ * parsing and canonical serialization.
  */
 
 #include "consistency/memory_model.hh"
 
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hh"
+
 namespace storemlp
 {
 
-const char *
-memoryModelName(MemoryModel m)
+namespace
 {
-    switch (m) {
-      case MemoryModel::ProcessorConsistency: return "PC";
-      case MemoryModel::WeakConsistency: return "WC";
-      default: return "?";
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** The four configurable serializing classes, in canonical order. */
+constexpr InstClass kFenceClasses[] = {
+    InstClass::AtomicCas,
+    InstClass::Membar,
+    InstClass::Isync,
+    InstClass::Lwsync,
+};
+
+const char *
+fenceClassKey(InstClass cls)
+{
+    switch (cls) {
+      case InstClass::AtomicCas: return "casa";
+      case InstClass::Membar: return "membar";
+      case InstClass::Isync: return "isync";
+      case InstClass::Lwsync: return "lwsync";
+      default: return nullptr;
     }
 }
 
+std::string
+effectSpec(const SerializeEffect &e)
+{
+    if (!e.any())
+        return "none";
+    std::string out;
+    auto add = [&out](const char *tok) {
+        if (!out.empty())
+            out += '+';
+        out += tok;
+    };
+    if (e.pipelineDrain)
+        add("pipe");
+    if (e.storeDrain)
+        add("store");
+    if (e.storeFence)
+        add("fence");
+    return out;
+}
+
 SerializeEffect
-serializeEffect(InstClass cls, MemoryModel model)
+parseEffect(const std::string &v, const std::string &key)
 {
     SerializeEffect e;
-    switch (cls) {
-      case InstClass::AtomicCas:
-        // casa: atomic load+store. Under TSO it forces all earlier
-        // stores to be performed before it executes (paper 3.3.4) and
-        // holds up retirement. A bare CAS appearing in a WC trace is
-        // conservatively given the same semantics (PowerPC implements
-        // it as a lwarx/stwcx+sync loop).
-        e.pipelineDrain = true;
-        e.storeDrain = true;
-        break;
-      case InstClass::Membar:
-        // Full fence under both models.
-        e.pipelineDrain = true;
-        e.storeDrain = true;
-        break;
-      case InstClass::Isync:
-        // WC: completes the acquire; drains the pipeline but "does not
-        // enforce waiting for the store queue and store buffer to
-        // drain" (paper 3.3.4).
-        e.pipelineDrain = true;
-        break;
-      case InstClass::Lwsync:
-        // WC: store-ordering fence in the queue; no pipeline stall.
-        e.storeFence = true;
-        break;
-      default:
-        break;
+    if (v == "none")
+        return e;
+    size_t pos = 0;
+    while (pos <= v.size()) {
+        size_t plus = v.find('+', pos);
+        std::string tok = v.substr(
+            pos, plus == std::string::npos ? std::string::npos
+                                          : plus - pos);
+        if (tok == "pipe")
+            e.pipelineDrain = true;
+        else if (tok == "store")
+            e.storeDrain = true;
+        else if (tok == "fence")
+            e.storeFence = true;
+        else
+            throw ConfigError("bad model fence effect for '" + key +
+                              "': '" + tok +
+                              "' (none or +-joined pipe|store|fence)");
+        if (plus == std::string::npos)
+            break;
+        pos = plus + 1;
     }
-    (void)model; // semantics above are already model-appropriate
     return e;
+}
+
+bool
+parseOrdered(const std::string &v, const std::string &key)
+{
+    if (v == "ordered")
+        return true;
+    if (v == "relaxed")
+        return false;
+    throw ConfigError("bad model value for '" + key + "': '" + v +
+                      "' (ordered|relaxed)");
+}
+
+} // namespace
+
+std::array<SerializeEffect, static_cast<size_t>(InstClass::NumClasses)>
+ModelDescriptor::defaultFenceTable()
+{
+    std::array<SerializeEffect,
+               static_cast<size_t>(InstClass::NumClasses)>
+        t{};
+    // casa: atomic load+store. Under TSO it forces all earlier stores
+    // to be performed before it executes (paper 3.3.4) and holds up
+    // retirement. A bare CAS appearing in a Power-dialect trace is
+    // conservatively given the same semantics (PowerPC implements it
+    // as a lwarx/stwcx+sync loop).
+    t[static_cast<size_t>(InstClass::AtomicCas)] = {true, true, false};
+    // membar: full fence under every model.
+    t[static_cast<size_t>(InstClass::Membar)] = {true, true, false};
+    // isync: completes the acquire; drains the pipeline but "does not
+    // enforce waiting for the store queue and store buffer to drain"
+    // (paper 3.3.4).
+    t[static_cast<size_t>(InstClass::Isync)] = {true, false, false};
+    // lwsync: store-ordering fence in the queue; no pipeline stall.
+    t[static_cast<size_t>(InstClass::Lwsync)] = {false, false, true};
+    return t;
+}
+
+ModelDescriptor
+ModelDescriptor::pc()
+{
+    return ModelDescriptor{};
+}
+
+ModelDescriptor
+ModelDescriptor::wc()
+{
+    ModelDescriptor m;
+    m.name = "WC";
+    m.storeCommit = StoreCommitOrder::FencedOnly;
+    m.coalesce = CoalesceScope::ToYoungestFence;
+    m.dialect = TraceDialect::Power;
+    m.loadLoadOrdered = false;
+    m.loadStoreOrdered = false;
+    return m;
+}
+
+ModelDescriptor
+ModelDescriptor::rmo()
+{
+    // WC's relaxed ordering rules applied to the native SPARC-dialect
+    // trace (no lock-idiom rewrite): isolates the commit/coalescing
+    // axes from the dialect axis.
+    ModelDescriptor m;
+    m.name = "RMO";
+    m.storeCommit = StoreCommitOrder::FencedOnly;
+    m.coalesce = CoalesceScope::ToYoungestFence;
+    m.dialect = TraceDialect::Sparc;
+    m.loadLoadOrdered = false;
+    m.loadStoreOrdered = false;
+    return m;
+}
+
+ModelDescriptor
+ModelDescriptor::wmm()
+{
+    // I2E-style point (Zhang et al.): stores commit out of order
+    // between fences, but instructions execute in order — no load
+    // buffering, so load->store stays ordered — and coalescing keeps
+    // the conservative tail-only rule.
+    ModelDescriptor m;
+    m.name = "WMM";
+    m.storeCommit = StoreCommitOrder::FencedOnly;
+    m.coalesce = CoalesceScope::Tail;
+    m.dialect = TraceDialect::Power;
+    m.loadLoadOrdered = false;
+    m.loadStoreOrdered = true;
+    return m;
+}
+
+ModelDescriptor
+ModelDescriptor::sc()
+{
+    ModelDescriptor m;
+    m.name = "SC";
+    m.storeCommit = StoreCommitOrder::InOrder;
+    m.coalesce = CoalesceScope::None;
+    m.dialect = TraceDialect::Sparc;
+    m.loadLoadOrdered = true;
+    m.loadStoreOrdered = true;
+    m.storeLoadOrdered = true;
+    return m;
+}
+
+const std::vector<ModelDescriptor> &
+ModelDescriptor::presets()
+{
+    static const std::vector<ModelDescriptor> all = {pc(), wc(), rmo(),
+                                                     wmm(), sc()};
+    return all;
+}
+
+const ModelDescriptor *
+ModelDescriptor::findPreset(const std::string &name)
+{
+    std::string n = lower(name);
+    if (n == "tso") // historical alias accepted by config files
+        n = "pc";
+    for (const ModelDescriptor &m : presets()) {
+        if (lower(m.name) == n)
+            return &m;
+    }
+    return nullptr;
+}
+
+bool
+ModelDescriptor::sameRules(const ModelDescriptor &o) const
+{
+    return storeCommit == o.storeCommit && coalesce == o.coalesce &&
+           dialect == o.dialect && loadLoadOrdered == o.loadLoadOrdered &&
+           loadStoreOrdered == o.loadStoreOrdered &&
+           storeLoadOrdered == o.storeLoadOrdered && fences == o.fences;
+}
+
+ModelDescriptor
+ModelDescriptor::parse(const std::string &text)
+{
+    if (text.empty())
+        throw ConfigError("empty memory model spec");
+
+    ModelDescriptor m;
+    bool first = true;
+    bool customized = false;
+    size_t pos = 0;
+    while (pos <= text.size()) {
+        size_t comma = text.find(',', pos);
+        std::string tok = text.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        size_t eq = tok.find('=');
+        if (eq == std::string::npos) {
+            // Bare token: only valid as the leading preset base.
+            if (!first || tok.empty()) {
+                throw ConfigError("bad memory model spec '" + text +
+                                  "': expected key=val at '" + tok +
+                                  "'");
+            }
+            const ModelDescriptor *p = findPreset(tok);
+            if (!p) {
+                throw ConfigError(
+                    "unknown memory model preset '" + tok +
+                    "' (pc|wc|rmo|wmm|sc or key=val list)");
+            }
+            m = *p;
+        } else {
+            std::string key = tok.substr(0, eq);
+            std::string val = lower(tok.substr(eq + 1));
+            customized = true;
+            if (key == "commit") {
+                if (val == "inorder")
+                    m.storeCommit = StoreCommitOrder::InOrder;
+                else if (val == "fenced")
+                    m.storeCommit = StoreCommitOrder::FencedOnly;
+                else
+                    throw ConfigError("bad model value for 'commit': '" +
+                                      val + "' (inorder|fenced)");
+            } else if (key == "coalesce") {
+                if (val == "none")
+                    m.coalesce = CoalesceScope::None;
+                else if (val == "tail")
+                    m.coalesce = CoalesceScope::Tail;
+                else if (val == "fence")
+                    m.coalesce = CoalesceScope::ToYoungestFence;
+                else
+                    throw ConfigError("bad model value for 'coalesce': '" +
+                                      val + "' (none|tail|fence)");
+            } else if (key == "dialect") {
+                if (val == "sparc")
+                    m.dialect = TraceDialect::Sparc;
+                else if (val == "power")
+                    m.dialect = TraceDialect::Power;
+                else
+                    throw ConfigError("bad model value for 'dialect': '" +
+                                      val + "' (sparc|power)");
+            } else if (key == "ll") {
+                m.loadLoadOrdered = parseOrdered(val, key);
+            } else if (key == "ls") {
+                m.loadStoreOrdered = parseOrdered(val, key);
+            } else if (key == "sl") {
+                m.storeLoadOrdered = parseOrdered(val, key);
+            } else if (key == "casa" || key == "membar" ||
+                       key == "isync" || key == "lwsync") {
+                for (InstClass cls : kFenceClasses) {
+                    if (key == fenceClassKey(cls))
+                        m.fences[static_cast<size_t>(cls)] =
+                            parseEffect(val, key);
+                }
+            } else {
+                throw ConfigError("unknown memory model key '" + key +
+                                  "'");
+            }
+        }
+        first = false;
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+
+    // Canonical display name: a preset when the rules match one,
+    // otherwise "custom".
+    if (customized) {
+        m.name = "custom";
+        for (const ModelDescriptor &p : presets()) {
+            if (m.sameRules(p)) {
+                m.name = p.name;
+                break;
+            }
+        }
+    }
+    return m;
+}
+
+std::string
+ModelDescriptor::spec() const
+{
+    for (const ModelDescriptor &p : presets()) {
+        if (sameRules(p))
+            return lower(p.name);
+    }
+    std::string out;
+    out += "commit=";
+    out += storeCommit == StoreCommitOrder::InOrder ? "inorder"
+                                                    : "fenced";
+    out += ",coalesce=";
+    out += coalesce == CoalesceScope::None ? "none"
+        : coalesce == CoalesceScope::Tail ? "tail"
+                                          : "fence";
+    out += ",dialect=";
+    out += dialect == TraceDialect::Sparc ? "sparc" : "power";
+    out += ",ll=";
+    out += loadLoadOrdered ? "ordered" : "relaxed";
+    out += ",ls=";
+    out += loadStoreOrdered ? "ordered" : "relaxed";
+    out += ",sl=";
+    out += storeLoadOrdered ? "ordered" : "relaxed";
+    for (InstClass cls : kFenceClasses) {
+        out += ',';
+        out += fenceClassKey(cls);
+        out += '=';
+        out += effectSpec(fences[static_cast<size_t>(cls)]);
+    }
+    return out;
 }
 
 } // namespace storemlp

@@ -1,38 +1,52 @@
 /**
  * @file
- * Memory consistency model policy. Encodes the store-visible
- * differences between processor consistency (SPARC TSO) and weak
- * consistency (PowerPC WC) that Section 3.3.4 of the paper analyzes:
+ * Declarative memory consistency model descriptors.
  *
- *  - PC commits stores in order; a missing store at the head of the
- *    store queue blocks all younger stores. WC commits out of order;
- *    only lwsync fences constrain commit order.
- *  - Under PC, casa/membar drain the pipeline AND the store
- *    buffer/queue before executing. Under WC, isync drains only the
- *    pipeline; lwsync is purely a store-queue ordering fence.
- *  - Coalescing: PC merges only consecutive stores (tail entry); WC
- *    merges with any entry on this side of the youngest fence.
+ * The paper (Section 3.3.4) studies exactly two models — SPARC
+ * processor consistency (PC/TSO) and PowerPC weak consistency (WC) —
+ * and this module originally hard-coded that pair as a two-value
+ * enum. Following the I2E-style operational framework of Zhang et
+ * al., the store-visible differences decompose into independent axes
+ * that a value type can capture:
+ *
+ *  - Store-commit order: PC commits stores strictly in program order
+ *    (a missing store queue head blocks all younger stores); WC
+ *    commits out of order within the oldest fence epoch.
+ *  - Coalescing scope: PC merges only consecutive stores (tail
+ *    entry); WC merges with any entry on this side of the youngest
+ *    fence; coalescing can also be disabled outright.
+ *  - Fence semantics: a per-instruction-class SerializeEffect table.
+ *    casa/membar drain the pipeline AND the store buffer/queue;
+ *    isync drains only the pipeline; lwsync is purely a store-queue
+ *    ordering fence.
+ *  - Trace dialect: Power-dialect models run the PC->WC lock-idiom
+ *    rewrite of Section 4.2 (casa -> lwarx;stwcx;isync, release
+ *    store -> lwsync;store) before simulation.
+ *  - Architectural load-ordering axes (load->load, load->store,
+ *    store->load). These define the litmus-test outcome matrix
+ *    (SB/MP/LB) but deliberately do NOT constrain the timing engine:
+ *    real implementations of strong models speculate loads and
+ *    squash on violation, so the epoch model's timing is identical —
+ *    exactly why the PC preset stays bit-identical to the historical
+ *    enum path.
+ *
+ * Named presets cover the paper's two models plus intermediate
+ * points (RMO-like, WMM-like) and sequential consistency, so the
+ * model axis is sweepable like any other config knob.
  */
 
 #ifndef STOREMLP_CONSISTENCY_MEMORY_MODEL_HH
 #define STOREMLP_CONSISTENCY_MEMORY_MODEL_HH
 
+#include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "trace/inst.hh"
 
 namespace storemlp
 {
-
-/** The two model classes studied by the paper. */
-enum class MemoryModel : uint8_t
-{
-    ProcessorConsistency, ///< SPARC TSO
-    WeakConsistency,      ///< PowerPC WC
-};
-
-/** Printable name. */
-const char *memoryModelName(MemoryModel m);
 
 /** What an instruction serializes before it may execute. */
 struct SerializeEffect
@@ -46,26 +60,140 @@ struct SerializeEffect
     bool storeFence = false;
 
     bool any() const { return pipelineDrain || storeDrain || storeFence; }
+
+    friend bool
+    operator==(const SerializeEffect &a, const SerializeEffect &b)
+    {
+        return a.pipelineDrain == b.pipelineDrain &&
+               a.storeDrain == b.storeDrain &&
+               a.storeFence == b.storeFence;
+    }
+    friend bool
+    operator!=(const SerializeEffect &a, const SerializeEffect &b)
+    {
+        return !(a == b);
+    }
+};
+
+/** How retired stores leave the store queue for the L2. */
+enum class StoreCommitOrder : uint8_t
+{
+    InOrder,    ///< strictly program order; a missing head blocks
+    FencedOnly, ///< any order within the oldest fence epoch
+};
+
+/** Which store-queue entries a retiring store may coalesce with. */
+enum class CoalesceScope : uint8_t
+{
+    None,            ///< coalescing disabled
+    Tail,            ///< consecutive stores only (tail entry)
+    ToYoungestFence, ///< any entry on this side of the youngest fence
+};
+
+/** Instruction-set dialect the model's traces are expressed in. */
+enum class TraceDialect : uint8_t
+{
+    Sparc, ///< casa/membar lock idioms, used as-is
+    Power, ///< PC traces are rewritten to lwarx/stwcx/lwsync/isync
 };
 
 /**
- * Classify the serializing behaviour of an instruction under a model.
+ * A complete declarative memory model: every consistency-dependent
+ * policy the simulator, the trace pipeline, and the litmus harness
+ * consult. Value-semantic and comparable; the default-constructed
+ * descriptor is the PC/TSO preset.
  */
-SerializeEffect serializeEffect(InstClass cls, MemoryModel model);
-
-/** True if the model commits stores strictly in program order. */
-inline bool
-inOrderCommit(MemoryModel m)
+struct ModelDescriptor
 {
-    return m == MemoryModel::ProcessorConsistency;
-}
+    /** Preset name ("PC", "WC", ...) or "custom". */
+    std::string name = "PC";
 
-/** True if retiring stores may coalesce with any eligible entry. */
-inline bool
-coalesceAnyEntry(MemoryModel m)
-{
-    return m == MemoryModel::WeakConsistency;
-}
+    StoreCommitOrder storeCommit = StoreCommitOrder::InOrder;
+    CoalesceScope coalesce = CoalesceScope::Tail;
+    TraceDialect dialect = TraceDialect::Sparc;
+
+    // Architectural ordering of independent (different-address)
+    // access pairs; consumed by the litmus harness only (see file
+    // comment). storeLoad is false for every shipped preset — the
+    // store buffer the paper studies IS a store->load reordering —
+    // but an SC descriptor can forbid it.
+    bool loadLoadOrdered = true;
+    bool loadStoreOrdered = true;
+    bool storeLoadOrdered = false;
+
+    /** Per-class serializing behaviour (indexed by InstClass). */
+    std::array<SerializeEffect,
+               static_cast<size_t>(InstClass::NumClasses)>
+        fences = defaultFenceTable();
+
+    /** The paper's fence semantics (casa/membar drain pipeline and
+     *  stores; isync drains the pipeline; lwsync is a store fence). */
+    static std::array<SerializeEffect,
+                      static_cast<size_t>(InstClass::NumClasses)>
+    defaultFenceTable();
+
+    const SerializeEffect &
+    effectOf(InstClass cls) const
+    {
+        return fences[static_cast<size_t>(cls)];
+    }
+
+    bool
+    inOrderCommit() const
+    {
+        return storeCommit == StoreCommitOrder::InOrder;
+    }
+
+    /** True if traces must pass through the PC->WC rewriter. */
+    bool
+    wcTraceRewrite() const
+    {
+        return dialect == TraceDialect::Power;
+    }
+
+    // ---- named presets ----
+    static ModelDescriptor pc();  ///< SPARC PC/TSO (paper baseline)
+    static ModelDescriptor wc();  ///< PowerPC weak consistency
+    static ModelDescriptor rmo(); ///< RMO-like: WC ordering rules on
+                                  ///< SPARC-dialect traces
+    static ModelDescriptor wmm(); ///< WMM-like: I2E point — fenced
+                                  ///< commit, tail coalescing, ld->st
+                                  ///< ordered (no load buffering)
+    static ModelDescriptor sc();  ///< sequential consistency
+    static const std::vector<ModelDescriptor> &presets();
+
+    /** Preset lookup by case-insensitive name; null if unknown. */
+    static const ModelDescriptor *findPreset(const std::string &name);
+
+    /**
+     * Parse a model spec: a preset name ("pc", "wc", "rmo", "wmm",
+     * "sc"), a key=val list ("commit=fenced,coalesce=fence,..."), or
+     * a preset base with overrides ("wc,coalesce=tail"). Unknown
+     * presets, keys, or values throw ConfigError.
+     */
+    static ModelDescriptor parse(const std::string &text);
+
+    /**
+     * Canonical spec string: the lowercase preset name when the rules
+     * match a preset, else the full key=val list. parse(spec()) is an
+     * exact round trip.
+     */
+    std::string spec() const;
+
+    /** Rule equality, ignoring the display name. */
+    bool sameRules(const ModelDescriptor &o) const;
+
+    friend bool
+    operator==(const ModelDescriptor &a, const ModelDescriptor &b)
+    {
+        return a.name == b.name && a.sameRules(b);
+    }
+    friend bool
+    operator!=(const ModelDescriptor &a, const ModelDescriptor &b)
+    {
+        return !(a == b);
+    }
+};
 
 } // namespace storemlp
 

@@ -130,13 +130,18 @@ loadSimConfig(std::istream &is)
             c.infiniteStoreQueue = parseBool(v, key);
         } else if (key == "perfectStores") {
             c.perfectStores = parseBool(v, key);
+        } else if (key == "model") {
+            // Preset name or full key=val descriptor; parse throws
+            // ConfigError (= ConfigParseError) on anything malformed.
+            c.memoryModel = ModelDescriptor::parse(v);
         } else if (key == "memoryModel") {
-            if (v == "pc" || v == "tso")
-                c.memoryModel = MemoryModel::ProcessorConsistency;
-            else if (v == "wc")
-                c.memoryModel = MemoryModel::WeakConsistency;
-            else
+            // Legacy two-model key, kept as an alias of the presets.
+            const ModelDescriptor *p = nullptr;
+            if (v == "pc" || v == "tso" || v == "wc")
+                p = ModelDescriptor::findPreset(v);
+            if (!p)
                 throw ConfigParseError("bad memoryModel: " + v);
+            c.memoryModel = *p;
         } else if (key == "sle") {
             c.sle = parseBool(v, key);
         } else if (key == "tmEnabled") {
@@ -201,9 +206,7 @@ saveSimConfig(std::ostream &os, const SimConfig &c)
        << (c.infiniteStoreQueue ? "true" : "false") << "\n"
        << "perfectStores = " << (c.perfectStores ? "true" : "false")
        << "\n"
-       << "memoryModel = "
-       << (c.memoryModel == MemoryModel::WeakConsistency ? "wc" : "pc")
-       << "\n"
+       << "model = " << c.memoryModel.spec() << "\n"
        << "sle = " << (c.sle ? "true" : "false") << "\n"
        << "tmEnabled = " << (c.tm.enabled ? "true" : "false") << "\n"
        << "tmAbortProb = " << c.tm.abortProb << "\n"

@@ -37,7 +37,7 @@ DualCoreRunner::run(const DualRunSpec &spec)
     Trace t0 = gen0.generate(total);
     Trace t1 = gen1.generate(total);
 
-    if (spec.config.memoryModel == MemoryModel::WeakConsistency) {
+    if (spec.config.memoryModel.wcTraceRewrite()) {
         TraceRewriter rw;
         t0 = rw.toWeakConsistency(t0);
         t1 = rw.toWeakConsistency(t1);

@@ -23,7 +23,7 @@ MlpSimulator::MlpSimulator(const SimConfig &config, ChipNode &chip,
     : _cfg(config), _chip(chip), _sle(locks, config.sle),
       _tm(locks, config.tm), _sb(config.storeBufferSize),
       _sq(config.infiniteStoreQueue ? kInfiniteSq : config.storeQueueSize,
-          config.coalesceBytes, coalesceAnyEntry(config.memoryModel))
+          config.coalesceBytes, config.memoryModel.coalesce)
 {
     if ((_cfg.sle || _cfg.tm.enabled) && !locks) {
         throw std::invalid_argument(
@@ -37,8 +37,7 @@ MlpSimulator::MlpSimulator(const SimConfig &config, ChipNode &chip,
     for (size_t c = 0; c < static_cast<size_t>(InstClass::NumClasses);
          ++c) {
         ClassPlan &p = _plan[c];
-        p.eff = serializeEffect(static_cast<InstClass>(c),
-                                _cfg.memoryModel);
+        p.eff = _cfg.memoryModel.effectOf(static_cast<InstClass>(c));
         p.serializing = p.eff.pipelineDrain || p.eff.storeDrain;
         p.isStore = isStoreClass(static_cast<InstClass>(c));
     }
@@ -280,7 +279,7 @@ MlpSimulator::classifyEntry(SqEntry &e)
 void
 MlpSimulator::commitStores()
 {
-    if (inOrderCommit(_cfg.memoryModel)) {
+    if (_cfg.memoryModel.inOrderCommit()) {
         // PC: strictly head-first. A missing head blocks the queue.
         while (!_sq.empty()) {
             SqEntry &h = _sq.head();
@@ -799,7 +798,7 @@ MlpSimulator::stepOne(TraceCursor &cur)
         (!_rob.front().isStore || !_sq.full());
     bool sq_can = false;
     if (!_sq.empty()) {
-        if (inOrderCommit(_cfg.memoryModel)) {
+        if (_cfg.memoryModel.inOrderCommit()) {
             const SqEntry &h = _sq.head();
             sq_can = !(h.classified && h.missing && _gen.open);
         } else {

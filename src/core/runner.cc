@@ -47,8 +47,9 @@ Runner::buildTrace(const RunSpec &spec)
     Trace trace = gen.generate(spec.warmupInsts + spec.measureInsts);
 
     // The paper simulates weak consistency by rewriting the PC trace's
-    // lock idioms (Section 4.2).
-    if (spec.config.memoryModel == MemoryModel::WeakConsistency) {
+    // lock idioms (Section 4.2); any Power-dialect model gets the
+    // same rewrite.
+    if (spec.config.memoryModel.wcTraceRewrite()) {
         TraceRewriter rewriter;
         trace = rewriter.toWeakConsistency(trace);
     }
@@ -61,8 +62,7 @@ Runner::traceCacheKey(const RunSpec &spec)
     std::ostringstream os;
     os << spec.profile.cacheKey() << "|seed=" << spec.seed
        << "|n=" << (spec.warmupInsts + spec.measureInsts) << "|wc="
-       << (spec.config.memoryModel == MemoryModel::WeakConsistency)
-       << "|chip=0";
+       << spec.config.memoryModel.wcTraceRewrite() << "|chip=0";
     return os.str();
 }
 
@@ -73,7 +73,7 @@ Runner::makeSource(const RunSpec &spec, uint64_t chunk_insts,
     std::unique_ptr<TraceSource> src = std::make_unique<GeneratorSource>(
         spec.profile, spec.seed,
         spec.warmupInsts + spec.measureInsts, 0, chunk_insts);
-    if (spec.config.memoryModel == MemoryModel::WeakConsistency)
+    if (spec.config.memoryModel.wcTraceRewrite())
         src = std::make_unique<WcRewriteSource>(std::move(src));
     if (chunk_cache) {
         std::string key = traceCacheKey(spec) +
@@ -83,18 +83,6 @@ Runner::makeSource(const RunSpec &spec, uint64_t chunk_insts,
                                              std::move(key));
     }
     return src;
-}
-
-RunOutput
-Runner::run(const RunSpec &spec, const Trace *prebuilt)
-{
-    Trace owned;
-    if (!prebuilt) {
-        owned = buildTrace(spec);
-        prebuilt = &owned;
-    }
-    MaterializedSource source(*prebuilt);
-    return run(spec, source);
 }
 
 RunOutput

@@ -142,15 +142,6 @@ class Runner
     static RunOutput run(const RunSpec &spec, TraceSource &source);
 
     /**
-     * Deprecated shim over the TraceSource entry point (wraps the
-     * trace in a MaterializedSource; generates via buildTrace when
-     * null). Kept for one release so out-of-tree callers migrate
-     * mechanically; slated for deletion.
-     */
-    static RunOutput run(const RunSpec &spec,
-                         const Trace *prebuilt = nullptr);
-
-    /**
      * Build the input trace for a spec: generate
      * warmupInsts + measureInsts instructions and apply the PC->WC
      * rewrite when the spec's config uses weak consistency.

@@ -37,7 +37,7 @@ SimConfig::wc1()
 {
     SimConfig c;
     c.name = "WC1";
-    c.memoryModel = MemoryModel::WeakConsistency;
+    c.memoryModel = ModelDescriptor::wc();
     return c;
 }
 
@@ -56,6 +56,24 @@ SimConfig::wc3()
     SimConfig c = wc2();
     c.name = "WC3";
     c.sle = true;
+    return c;
+}
+
+SimConfig
+SimConfig::rmo1()
+{
+    SimConfig c;
+    c.name = "RMO1";
+    c.memoryModel = ModelDescriptor::rmo();
+    return c;
+}
+
+SimConfig
+SimConfig::wmm1()
+{
+    SimConfig c;
+    c.name = "WMM1";
+    c.memoryModel = ModelDescriptor::wmm();
     return c;
 }
 

@@ -61,7 +61,9 @@ struct SimConfig
     bool perfectStores = false;
 
     // ---- memory consistency ----
-    MemoryModel memoryModel = MemoryModel::ProcessorConsistency;
+    /** Declarative model descriptor (defaults to the PC/TSO preset;
+     *  see configs and `--model` for the other presets). */
+    ModelDescriptor memoryModel;
 
     // ---- optimizations ----
     bool sle = false;                    ///< Speculative Lock Elision
@@ -89,6 +91,10 @@ struct SimConfig
     static SimConfig wc2();
     /** WC3: WC2 + SLE. */
     static SimConfig wc3();
+    /** RMO1: RMO-like intermediate model baseline. */
+    static SimConfig rmo1();
+    /** WMM1: WMM-like intermediate model baseline. */
+    static SimConfig wmm1();
 
     /** Returns a copy with a different store prefetch mode. */
     SimConfig withPrefetch(StorePrefetch sp) const;

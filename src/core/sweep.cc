@@ -91,11 +91,16 @@ SweepEngine::runOnce(const RunSpec &spec, bool *hit)
         std::shared_ptr<const Trace> trace = _cache->getOrBuild(
             Runner::traceCacheKey(spec),
             [&spec] { return Runner::buildTrace(spec); }, hit);
-        return _opts.runOverride ? _opts.runOverride(spec, trace.get())
-                                 : Runner::run(spec, trace.get());
+        if (_opts.runOverride)
+            return _opts.runOverride(spec, trace.get());
+        MaterializedSource src(std::move(trace));
+        return Runner::run(spec, src);
     }
-    return _opts.runOverride ? _opts.runOverride(spec, nullptr)
-                             : Runner::run(spec);
+    if (_opts.runOverride)
+        return _opts.runOverride(spec, nullptr);
+    Trace trace = Runner::buildTrace(spec);
+    MaterializedSource src(trace);
+    return Runner::run(spec, src);
 }
 
 std::vector<SweepResult>

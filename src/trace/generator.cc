@@ -400,4 +400,71 @@ SyntheticTraceGenerator::emitMembar(Trace &trace)
     trace.append(r);
 }
 
+LitmusProgram
+litmusProgram(LitmusIdiom idiom, bool power_dialect, bool fenced)
+{
+    // Two independent shared locations on distinct cache lines.
+    constexpr uint64_t kX = 0x1000;
+    constexpr uint64_t kY = 0x2000;
+
+    LitmusProgram p;
+    TraceBuilder t0(0x10000);
+    TraceBuilder t1(0x20000);
+    // Ordering fences per dialect: a full fence (SPARC membar; the
+    // Power full sync has the same SerializeEffect), the Power
+    // store-store fence, and the Power execution fence.
+    auto full = [&](TraceBuilder &t) { t.membar(); };
+    auto stFence = [&](TraceBuilder &t) {
+        power_dialect ? t.lwsync() : t.membar();
+    };
+    auto exFence = [&](TraceBuilder &t) {
+        power_dialect ? t.isync() : t.membar();
+    };
+
+    switch (idiom) {
+      case LitmusIdiom::StoreBuffering:
+        p.name = "SB";
+        t0.store(kX);
+        if (fenced)
+            full(t0); // only a full fence orders St -> Ld
+        t0.load(kY);
+        t1.store(kY);
+        if (fenced)
+            full(t1);
+        t1.load(kX);
+        p.relaxedOutcome = {0, 0}; // both loads miss the other store
+        break;
+      case LitmusIdiom::MessagePassing:
+        p.name = "MP";
+        t0.store(kX);
+        if (fenced)
+            stFence(t0);
+        t0.store(kY);
+        t1.load(kY);
+        if (fenced)
+            exFence(t1);
+        t1.load(kX);
+        p.relaxedOutcome = {1, 0}; // flag seen, data stale
+        break;
+      case LitmusIdiom::LoadBuffering:
+        p.name = "LB";
+        t0.load(kY);
+        if (fenced)
+            exFence(t0);
+        t0.store(kX);
+        t1.load(kX);
+        if (fenced)
+            exFence(t1);
+        t1.store(kY);
+        p.relaxedOutcome = {1, 1}; // both loads see the future store
+        break;
+    }
+    p.name += power_dialect ? ".power" : ".sparc";
+    if (fenced)
+        p.name += "+fence";
+    p.thread0 = t0.build();
+    p.thread1 = t1.build();
+    return p;
+}
+
 } // namespace storemlp

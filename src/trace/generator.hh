@@ -10,6 +10,8 @@
 #define STOREMLP_TRACE_GENERATOR_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "trace/rng.hh"
 #include "trace/trace.hh"
@@ -17,6 +19,42 @@
 
 namespace storemlp
 {
+
+/** The classic two-thread litmus idioms the harness exercises. */
+enum class LitmusIdiom : uint8_t
+{
+    StoreBuffering, ///< SB / Dekker: St x; Ld y || St y; Ld x
+    MessagePassing, ///< MP: St x; St y || Ld y; Ld x
+    LoadBuffering,  ///< LB: Ld y; St x || Ld x; St y
+};
+
+/**
+ * A two-thread litmus program: one record sequence per thread plus
+ * the idiom's distinguishing weak outcome. Stores conceptually write
+ * the value 1 to locations that start at 0.
+ */
+struct LitmusProgram
+{
+    std::string name;
+    Trace thread0;
+    Trace thread1;
+    /**
+     * The relaxed (weak) outcome: the observed value of every load,
+     * thread 0's loads in program order followed by thread 1's. A
+     * model "allows" the idiom iff an execution can produce this
+     * observation (see consistency/litmus.hh).
+     */
+    std::vector<uint8_t> relaxedOutcome;
+};
+
+/**
+ * Emit the idiom's record sequences. The fenced variants insert the
+ * fences that restore ordering under every shipped model:
+ * Power-dialect programs use lwsync (store-store) and isync
+ * (pipeline drain), SPARC-dialect programs use membar.
+ */
+LitmusProgram litmusProgram(LitmusIdiom idiom, bool power_dialect,
+                            bool fenced);
 
 /**
  * Deterministic trace generator; one instance per simulated core/chip.

@@ -11,9 +11,9 @@ namespace storemlp
 {
 
 StoreQueue::StoreQueue(size_t capacity, uint32_t coalesce_bytes,
-                       bool coalesce_any_entry)
+                       CoalesceScope scope)
     : _capacity(capacity), _coalesceBytes(coalesce_bytes),
-      _coalesceAnyEntry(coalesce_any_entry)
+      _scope(scope)
 {
     assert(capacity > 0);
     assert(coalesce_bytes == 0 ||
@@ -35,8 +35,9 @@ StoreQueue::insert(uint64_t addr, uint64_t line, uint64_t inst_idx,
     ++_inserts;
     uint64_t granule = granuleOf(addr);
 
-    if (_coalesceBytes != 0 && !_entries.empty()) {
-        if (_coalesceAnyEntry) {
+    if (_coalesceBytes != 0 && _scope != CoalesceScope::None &&
+        !_entries.empty()) {
+        if (_scope == CoalesceScope::ToYoungestFence) {
             // WC: any entry on this side of the youngest fence. A
             // committed-looking (classified missing) head still merges
             // — the merged data simply joins the pending line write.

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "consistency/memory_model.hh"
+
 namespace storemlp
 {
 
@@ -43,11 +45,12 @@ class StoreQueue
     /**
      * @param capacity maximum entries (paper default 32)
      * @param coalesce_bytes coalescing granularity; 0 disables
-     * @param coalesce_any_entry WC rule (search all entries) vs PC
-     *        rule (tail entry only)
+     * @param scope model coalescing rule: ToYoungestFence (WC:
+     *        search all entries this side of the youngest fence),
+     *        Tail (PC: consecutive stores only), or None
      */
     StoreQueue(size_t capacity, uint32_t coalesce_bytes,
-               bool coalesce_any_entry);
+               CoalesceScope scope);
 
     bool full() const { return _entries.size() >= _capacity; }
     bool empty() const { return _entries.empty(); }
@@ -83,7 +86,7 @@ class StoreQueue
     std::deque<SqEntry> _entries;
     size_t _capacity;
     uint32_t _coalesceBytes;
-    bool _coalesceAnyEntry;
+    CoalesceScope _scope;
 
     uint64_t _inserts = 0;
     uint64_t _coalesced = 0;

@@ -13,11 +13,34 @@
 
 #include "coherence/chip.hh"
 #include "core/mlp_sim.hh"
+#include "core/runner.hh"
 #include "trace/lock_detector.hh"
 #include "trace/trace.hh"
+#include "trace/trace_source.hh"
 
 namespace storemlp::test
 {
+
+/**
+ * Materialized-trace run: buildTrace + MaterializedSource, byte for
+ * byte what the removed Runner::run(spec) convenience overload did.
+ * Tests that don't exercise streaming go through here.
+ */
+inline RunOutput
+runMaterialized(const RunSpec &spec)
+{
+    Trace trace = Runner::buildTrace(spec);
+    MaterializedSource src(trace);
+    return Runner::run(spec, src);
+}
+
+/** Same, over a prebuilt trace (must already reflect the model). */
+inline RunOutput
+runMaterialized(const RunSpec &spec, const Trace &trace)
+{
+    MaterializedSource src(trace);
+    return Runner::run(spec, src);
+}
 
 /** Addresses guaranteed to be off-chip misses (never warmed). */
 inline uint64_t

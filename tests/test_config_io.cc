@@ -48,7 +48,7 @@ TEST(ConfigIo, ParsesMinimalConfig)
         "sle = true\n");
     SimConfig c = loadSimConfig(ss);
     EXPECT_EQ(c.storePrefetch, StorePrefetch::AtExecute);
-    EXPECT_EQ(c.memoryModel, MemoryModel::WeakConsistency);
+    EXPECT_EQ(c.memoryModel, ModelDescriptor::wc());
     EXPECT_TRUE(c.sle);
     // Untouched knobs keep their defaults.
     EXPECT_EQ(c.storeQueueSize, 32u);
@@ -162,7 +162,7 @@ TEST(ConfigIo, ShippedPresetsLoad)
     // The configs/ presets must stay loadable as the schema evolves.
     const char *files[] = {"pc1.cfg", "pc2.cfg", "pc3.cfg",
                            "wc1.cfg", "wc2.cfg", "wc3.cfg",
-                           "hws2.cfg"};
+                           "hws2.cfg", "rmo1.cfg", "wmm1.cfg"};
     int loaded = 0;
     for (const char *f : files) {
         // Tests run from the build tree; look for the source configs.
@@ -180,7 +180,60 @@ TEST(ConfigIo, ShippedPresetsLoad)
     }
     if (loaded == 0)
         GTEST_SKIP() << "configs/ not reachable from test cwd";
-    EXPECT_EQ(loaded, 7);
+    EXPECT_EQ(loaded, 9);
+}
+
+TEST(ConfigIo, ModelKeyParsesPresets)
+{
+    std::stringstream ss("model = rmo\n");
+    SimConfig c = loadSimConfig(ss);
+    EXPECT_EQ(c.memoryModel, ModelDescriptor::rmo());
+}
+
+TEST(ConfigIo, ModelKeyParsesDescriptorList)
+{
+    std::stringstream ss("model = wc,commit=inorder\n");
+    SimConfig c = loadSimConfig(ss);
+    EXPECT_TRUE(c.memoryModel.inOrderCommit());
+    EXPECT_EQ(c.memoryModel.coalesce, CoalesceScope::ToYoungestFence);
+    EXPECT_EQ(c.memoryModel.name, "custom");
+}
+
+TEST(ConfigIo, ModelKeyRejectsBadValues)
+{
+    {
+        std::stringstream ss("model = bogus\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+    {
+        std::stringstream ss("model = pc,frobnicate=yes\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+    {
+        std::stringstream ss("model = pc,commit=sideways\n");
+        EXPECT_THROW(loadSimConfig(ss), ConfigParseError);
+    }
+}
+
+TEST(ConfigIo, CustomDescriptorRoundTrip)
+{
+    // A descriptor that matches no preset must survive
+    // save -> load unchanged, via its canonical spec().
+    SimConfig c;
+    c.memoryModel = ModelDescriptor::parse("wc,commit=inorder");
+    std::stringstream ss;
+    saveSimConfig(ss, c);
+    SimConfig r = loadSimConfig(ss);
+    EXPECT_EQ(r.memoryModel, c.memoryModel);
+    EXPECT_TRUE(r.memoryModel.sameRules(c.memoryModel));
+}
+
+TEST(ConfigIo, PresetDescriptorSpecRoundTrip)
+{
+    for (const ModelDescriptor &m : ModelDescriptor::presets())
+        EXPECT_TRUE(
+            ModelDescriptor::parse(m.spec()).sameRules(m))
+            << m.name;
 }
 
 TEST(ConfigIo, PresetPc3Semantics)
@@ -190,7 +243,7 @@ TEST(ConfigIo, PresetPc3Semantics)
     SimConfig c = loadSimConfig(ss);
     EXPECT_TRUE(c.sle);
     EXPECT_TRUE(c.prefetchPastSerializing);
-    EXPECT_EQ(c.memoryModel, MemoryModel::ProcessorConsistency);
+    EXPECT_EQ(c.memoryModel, ModelDescriptor::pc());
 }
 
 } // namespace

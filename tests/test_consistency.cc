@@ -14,25 +14,36 @@ namespace storemlp
 namespace
 {
 
-TEST(MemoryModel, Names)
+TEST(ModelDescriptor, PresetNames)
 {
-    EXPECT_STREQ(memoryModelName(MemoryModel::ProcessorConsistency),
-                 "PC");
-    EXPECT_STREQ(memoryModelName(MemoryModel::WeakConsistency), "WC");
+    EXPECT_EQ(ModelDescriptor::pc().name, "PC");
+    EXPECT_EQ(ModelDescriptor::wc().name, "WC");
+    EXPECT_EQ(ModelDescriptor::rmo().name, "RMO");
+    EXPECT_EQ(ModelDescriptor::wmm().name, "WMM");
+    EXPECT_EQ(ModelDescriptor::sc().name, "SC");
 }
 
-TEST(MemoryModel, CommitOrderPredicates)
+TEST(ModelDescriptor, CommitOrderPredicates)
 {
-    EXPECT_TRUE(inOrderCommit(MemoryModel::ProcessorConsistency));
-    EXPECT_FALSE(inOrderCommit(MemoryModel::WeakConsistency));
-    EXPECT_FALSE(coalesceAnyEntry(MemoryModel::ProcessorConsistency));
-    EXPECT_TRUE(coalesceAnyEntry(MemoryModel::WeakConsistency));
+    EXPECT_TRUE(ModelDescriptor::pc().inOrderCommit());
+    EXPECT_FALSE(ModelDescriptor::wc().inOrderCommit());
+    EXPECT_EQ(ModelDescriptor::pc().coalesce, CoalesceScope::Tail);
+    EXPECT_EQ(ModelDescriptor::wc().coalesce,
+              CoalesceScope::ToYoungestFence);
+}
+
+TEST(ModelDescriptor, TraceDialectDrivesWcRewrite)
+{
+    EXPECT_FALSE(ModelDescriptor::pc().wcTraceRewrite());
+    EXPECT_TRUE(ModelDescriptor::wc().wcTraceRewrite());
+    EXPECT_FALSE(ModelDescriptor::rmo().wcTraceRewrite());
+    EXPECT_TRUE(ModelDescriptor::wmm().wcTraceRewrite());
 }
 
 TEST(SerializeEffect, CasaDrainsStoresUnderPc)
 {
-    SerializeEffect e = serializeEffect(
-        InstClass::AtomicCas, MemoryModel::ProcessorConsistency);
+    SerializeEffect e =
+        ModelDescriptor::pc().effectOf(InstClass::AtomicCas);
     EXPECT_TRUE(e.pipelineDrain);
     EXPECT_TRUE(e.storeDrain);
     EXPECT_FALSE(e.storeFence);
@@ -40,11 +51,11 @@ TEST(SerializeEffect, CasaDrainsStoresUnderPc)
 
 TEST(SerializeEffect, MembarFullFence)
 {
-    for (MemoryModel m : {MemoryModel::ProcessorConsistency,
-                          MemoryModel::WeakConsistency}) {
-        SerializeEffect e = serializeEffect(InstClass::Membar, m);
-        EXPECT_TRUE(e.pipelineDrain);
-        EXPECT_TRUE(e.storeDrain);
+    for (const ModelDescriptor &m :
+         {ModelDescriptor::pc(), ModelDescriptor::wc()}) {
+        SerializeEffect e = m.effectOf(InstClass::Membar);
+        EXPECT_TRUE(e.pipelineDrain) << m.name;
+        EXPECT_TRUE(e.storeDrain) << m.name;
     }
 }
 
@@ -52,16 +63,16 @@ TEST(SerializeEffect, IsyncDoesNotDrainStores)
 {
     // The key WC property (paper 3.3.4): isync does not wait for the
     // store buffer and store queue to drain.
-    SerializeEffect e = serializeEffect(InstClass::Isync,
-                                        MemoryModel::WeakConsistency);
+    SerializeEffect e =
+        ModelDescriptor::wc().effectOf(InstClass::Isync);
     EXPECT_TRUE(e.pipelineDrain);
     EXPECT_FALSE(e.storeDrain);
 }
 
 TEST(SerializeEffect, LwsyncIsQueueFenceOnly)
 {
-    SerializeEffect e = serializeEffect(InstClass::Lwsync,
-                                        MemoryModel::WeakConsistency);
+    SerializeEffect e =
+        ModelDescriptor::wc().effectOf(InstClass::Lwsync);
     EXPECT_FALSE(e.pipelineDrain);
     EXPECT_FALSE(e.storeDrain);
     EXPECT_TRUE(e.storeFence);
@@ -72,8 +83,7 @@ TEST(SerializeEffect, PlainInstructionsDoNotSerialize)
     for (InstClass c : {InstClass::Alu, InstClass::Load,
                         InstClass::Store, InstClass::Branch,
                         InstClass::LoadLocked, InstClass::StoreCond}) {
-        SerializeEffect e =
-            serializeEffect(c, MemoryModel::ProcessorConsistency);
+        SerializeEffect e = ModelDescriptor::pc().effectOf(c);
         EXPECT_FALSE(e.any()) << instClassName(c);
     }
 }

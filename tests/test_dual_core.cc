@@ -8,6 +8,7 @@
 
 #include "core/dual_core.hh"
 #include "core/runner.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -67,7 +68,7 @@ TEST(DualCore, SharingRaisesPressureOverSoloCore)
     solo.config = dspec.config;
     solo.warmupInsts = dspec.warmupInsts;
     solo.measureInsts = dspec.measureInsts;
-    RunOutput alone = Runner::run(solo);
+    RunOutput alone = test::runMaterialized(solo);
 
     uint64_t dual_misses = dual.core0.missLoads + dual.core0.missStores;
     uint64_t solo_misses =
@@ -94,7 +95,7 @@ TEST(DualCore, QuantumDoesNotChangeTotalsMuch)
 TEST(DualCore, WeakConsistencySupported)
 {
     DualRunSpec spec = tinySpec();
-    spec.config.memoryModel = MemoryModel::WeakConsistency;
+    spec.config.memoryModel = ModelDescriptor::wc();
     DualRunOutput out = DualCoreRunner::run(spec);
     EXPECT_GT(out.core0.epochs, 0u);
 }

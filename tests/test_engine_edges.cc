@@ -55,7 +55,7 @@ TEST(EngineEdges, AllLwsyncTraceUnderWc)
         b.lwsync();
     }
     SimConfig wc = SimConfig::defaults();
-    wc.memoryModel = MemoryModel::WeakConsistency;
+    wc.memoryModel = ModelDescriptor::wc();
     SimRig rig;
     SimResult res = rig.run(b.build(), wc);
     EXPECT_EQ(res.epochs, 0u); // hit stores drain through fences
@@ -156,7 +156,7 @@ TEST(EngineEdges, WcFenceChainsCommitInOrder)
     fillers(b, 50);
 
     SimConfig wc = SimConfig::defaults();
-    wc.memoryModel = MemoryModel::WeakConsistency;
+    wc.memoryModel = ModelDescriptor::wc();
     wc.storePrefetch = StorePrefetch::AtRetire;
     SimRig rig;
     SimResult res = rig.run(b.build(), wc);
@@ -266,7 +266,7 @@ TEST(EngineEdges, TmUnderWeakConsistency)
     fillers(b, 600);
 
     SimConfig cfg = SimConfig::defaults();
-    cfg.memoryModel = MemoryModel::WeakConsistency;
+    cfg.memoryModel = ModelDescriptor::wc();
     cfg.tm.enabled = true;
     cfg.tm.abortProb = 0.0;
     SimRig rig;

@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "core/runner.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -34,8 +35,8 @@ TEST_P(EngineMatrixTest, RunsAndSatisfiesInvariants)
     spec.config = SimConfig::defaults();
     spec.config.storePrefetch = static_cast<StorePrefetch>(sp);
     spec.config.memoryModel = model
-        ? MemoryModel::WeakConsistency
-        : MemoryModel::ProcessorConsistency;
+        ? ModelDescriptor::wc()
+        : ModelDescriptor::pc();
     spec.config.scout = static_cast<ScoutMode>(scout);
     if (elide == 1) {
         spec.config.sle = true;
@@ -47,7 +48,7 @@ TEST_P(EngineMatrixTest, RunsAndSatisfiesInvariants)
     spec.warmupInsts = 20000;
     spec.measureInsts = 60000;
 
-    SimResult res = Runner::run(spec).sim;
+    SimResult res = test::runMaterialized(spec).sim;
 
     EXPECT_GE(res.instructions, 60000u);
     uint64_t term_sum = 0;

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/runner.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -39,7 +40,7 @@ class FigureShapeTest : public testing::TestWithParam<int>
         spec.warmupInsts = kWarmup;
         spec.measureInsts = kMeasure;
         tweak(spec);
-        return Runner::run(spec);
+        return test::runMaterialized(spec);
     }
 };
 

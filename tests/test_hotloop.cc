@@ -40,6 +40,7 @@
 #include "trace/trace_file_source.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_source.hh"
+#include "sim_test_util.hh"
 
 using namespace storemlp;
 
@@ -128,14 +129,14 @@ buildCases()
     };
     for (const NamedCfg &nc : shipped) {
         RunSpec spec = baseSpec(nc.cfg);
-        out[std::string("run/") + nc.name] = hashRunOutput(Runner::run(spec));
+        out[std::string("run/") + nc.name] = hashRunOutput(test::runMaterialized(spec));
     }
 
     // ---- transactional memory ----
     {
         RunSpec spec = baseSpec(SimConfig::defaults());
         spec.config.tm.enabled = true;
-        out["run/tm"] = hashRunOutput(Runner::run(spec));
+        out["run/tm"] = hashRunOutput(test::runMaterialized(spec));
     }
 
     // ---- machine variants: SMAC, peer traffic, sibling core ----
@@ -144,7 +145,7 @@ buildCases()
         spec.numChips = 2;
         spec.peerTraffic = true;
         spec.smac = SmacConfig{};
-        out["run/smac_peer"] = hashRunOutput(Runner::run(spec));
+        out["run/smac_peer"] = hashRunOutput(test::runMaterialized(spec));
     }
     {
         RunSpec spec = baseSpec(SimConfig::defaults());
@@ -152,7 +153,7 @@ buildCases()
         spec.peerTraffic = true;
         spec.siblingCore = true;
         spec.smac = SmacConfig{};
-        out["run/smac_sibling"] = hashRunOutput(Runner::run(spec));
+        out["run/smac_sibling"] = hashRunOutput(test::runMaterialized(spec));
     }
 
     // ---- streaming (generator / WC-rewrite sources), chunk sizes ----

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Litmus-test matrix: which classic relaxed outcomes (store
+ * buffering, message passing, load buffering) each memory-model
+ * descriptor admits, and that the fenced variants of the idioms are
+ * forbidden everywhere. This pins the architectural semantics of
+ * every shipped preset — the timing engine is covered separately by
+ * the golden-hash suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "consistency/litmus.hh"
+#include "consistency/memory_model.hh"
+#include "trace/generator.hh"
+#include "util/error.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+bool
+allows(const ModelDescriptor &m, LitmusIdiom idiom, bool fenced)
+{
+    LitmusProgram prog = litmusProgram(
+        idiom, m.dialect == TraceDialect::Power, fenced);
+    return litmusAllowsRelaxed(prog, m);
+}
+
+struct MatrixRow
+{
+    ModelDescriptor model;
+    bool sb; ///< store buffering admitted?
+    bool mp; ///< message passing reordering admitted?
+    bool lb; ///< load buffering admitted?
+};
+
+TEST(Litmus, PresetMatrix)
+{
+    // The load-ordering axes and the commit order fully determine the
+    // three idioms:
+    //   SB needs store->load reordering (every store buffer has it,
+    //      SC forbids it);
+    //   MP needs the writer's stores or the reader's loads out of
+    //      order (weak commit or relaxed load->load);
+    //   LB needs load->store reordering (WMM's in-order execution
+    //      point forbids it even though its stores commit weakly).
+    const MatrixRow rows[] = {
+        {ModelDescriptor::pc(), true, false, false},
+        {ModelDescriptor::wc(), true, true, true},
+        {ModelDescriptor::rmo(), true, true, true},
+        {ModelDescriptor::wmm(), true, true, false},
+        {ModelDescriptor::sc(), false, false, false},
+    };
+    for (const MatrixRow &r : rows) {
+        EXPECT_EQ(allows(r.model, LitmusIdiom::StoreBuffering, false),
+                  r.sb)
+            << r.model.name << " SB";
+        EXPECT_EQ(allows(r.model, LitmusIdiom::MessagePassing, false),
+                  r.mp)
+            << r.model.name << " MP";
+        EXPECT_EQ(allows(r.model, LitmusIdiom::LoadBuffering, false),
+                  r.lb)
+            << r.model.name << " LB";
+    }
+}
+
+TEST(Litmus, FencedVariantsForbiddenEverywhere)
+{
+    // Full fences between the accesses restore SC per idiom: no
+    // preset may admit the relaxed outcome of a fenced test.
+    for (const ModelDescriptor &m : ModelDescriptor::presets()) {
+        for (LitmusIdiom idiom :
+             {LitmusIdiom::StoreBuffering, LitmusIdiom::MessagePassing,
+              LitmusIdiom::LoadBuffering}) {
+            EXPECT_FALSE(allows(m, idiom, true))
+                << m.name << " fenced idiom "
+                << static_cast<int>(idiom);
+        }
+    }
+}
+
+TEST(Litmus, ScOutcomesAreSubsetOfEveryPreset)
+{
+    // Relaxation only adds behaviours: every outcome reachable under
+    // SC must stay reachable under every weaker preset.
+    for (const ModelDescriptor &m : ModelDescriptor::presets()) {
+        for (LitmusIdiom idiom :
+             {LitmusIdiom::StoreBuffering, LitmusIdiom::MessagePassing,
+              LitmusIdiom::LoadBuffering}) {
+            ModelDescriptor sc = ModelDescriptor::sc();
+            sc.dialect = m.dialect; // compare over the same trace
+            LitmusProgram prog = litmusProgram(
+                idiom, m.dialect == TraceDialect::Power, false);
+            std::set<LitmusOutcome> strong =
+                litmusOutcomes(prog, sc);
+            std::set<LitmusOutcome> weak = litmusOutcomes(prog, m);
+            for (const LitmusOutcome &o : strong)
+                EXPECT_TRUE(weak.count(o))
+                    << m.name << " idiom " << static_cast<int>(idiom);
+        }
+    }
+}
+
+TEST(Litmus, SbOutcomeSetUnderSc)
+{
+    // SC store buffering: {0,1}, {1,0}, {1,1} reachable; {0,0} (the
+    // relaxed outcome) is not.
+    LitmusProgram prog =
+        litmusProgram(LitmusIdiom::StoreBuffering, false, false);
+    std::set<LitmusOutcome> outs =
+        litmusOutcomes(prog, ModelDescriptor::sc());
+    EXPECT_EQ(outs.size(), 3u);
+    EXPECT_FALSE(outs.count(prog.relaxedOutcome));
+    EXPECT_TRUE(outs.count(LitmusOutcome{0, 1}));
+    EXPECT_TRUE(outs.count(LitmusOutcome{1, 0}));
+    EXPECT_TRUE(outs.count(LitmusOutcome{1, 1}));
+}
+
+TEST(Litmus, SbGainsExactlyTheRelaxedOutcomeUnderPc)
+{
+    LitmusProgram prog =
+        litmusProgram(LitmusIdiom::StoreBuffering, false, false);
+    std::set<LitmusOutcome> outs =
+        litmusOutcomes(prog, ModelDescriptor::pc());
+    EXPECT_EQ(outs.size(), 4u);
+    EXPECT_TRUE(outs.count(prog.relaxedOutcome));
+}
+
+TEST(Litmus, ProgramNamesEncodeDialectAndFencing)
+{
+    EXPECT_EQ(
+        litmusProgram(LitmusIdiom::StoreBuffering, false, false).name,
+        "SB.sparc");
+    EXPECT_EQ(
+        litmusProgram(LitmusIdiom::MessagePassing, true, true).name,
+        "MP.power+fence");
+}
+
+TEST(Descriptor, ParseSpecRoundTripForPresets)
+{
+    for (const ModelDescriptor &m : ModelDescriptor::presets()) {
+        ModelDescriptor r = ModelDescriptor::parse(m.spec());
+        EXPECT_TRUE(r.sameRules(m)) << m.name;
+        EXPECT_EQ(r.name, m.name) << m.name;
+    }
+}
+
+TEST(Descriptor, ParseSpecRoundTripForCustom)
+{
+    ModelDescriptor m =
+        ModelDescriptor::parse("wc,commit=inorder,isync=none");
+    EXPECT_EQ(m.name, "custom");
+    ModelDescriptor r = ModelDescriptor::parse(m.spec());
+    EXPECT_TRUE(r.sameRules(m));
+}
+
+TEST(Descriptor, CustomizedPresetRecoversPresetName)
+{
+    // Overriding a preset with its own values is still the preset.
+    ModelDescriptor m = ModelDescriptor::parse("pc,coalesce=tail");
+    EXPECT_EQ(m.name, "PC");
+    EXPECT_EQ(m, ModelDescriptor::pc());
+}
+
+TEST(Descriptor, ParseRejectsBadInput)
+{
+    EXPECT_THROW(ModelDescriptor::parse("bogus"), ConfigError);
+    EXPECT_THROW(ModelDescriptor::parse("pc,frobnicate=yes"),
+                 ConfigError);
+    EXPECT_THROW(ModelDescriptor::parse("pc,commit=sideways"),
+                 ConfigError);
+    EXPECT_THROW(ModelDescriptor::parse(""), ConfigError);
+}
+
+TEST(Descriptor, FindPresetIsCaseInsensitiveAndKnowsTso)
+{
+    ASSERT_NE(ModelDescriptor::findPreset("WC"), nullptr);
+    ASSERT_NE(ModelDescriptor::findPreset("wc"), nullptr);
+    ASSERT_NE(ModelDescriptor::findPreset("tso"), nullptr);
+    EXPECT_EQ(ModelDescriptor::findPreset("tso")->name, "PC");
+    EXPECT_EQ(ModelDescriptor::findPreset("nope"), nullptr);
+}
+
+} // namespace
+} // namespace storemlp

@@ -499,7 +499,7 @@ TEST(EpochEngine, WcHitsBypassMissingHead)
     EXPECT_GE(res_pc.epochs, 1u);
 
     SimConfig wc = pc;
-    wc.memoryModel = MemoryModel::WeakConsistency;
+    wc.memoryModel = ModelDescriptor::wc();
     SimRig rig2;
     SimResult res_wc = rig2.run(build(), wc);
     EXPECT_EQ(res_wc.epochs, 0u);
@@ -517,7 +517,7 @@ TEST(EpochEngine, WcLwsyncFencesCommitOrder)
     fillers(b, 600);
 
     SimConfig wc = SimConfig::defaults();
-    wc.memoryModel = MemoryModel::WeakConsistency;
+    wc.memoryModel = ModelDescriptor::wc();
     wc.storePrefetch = StorePrefetch::None;
     wc.coalesceBytes = 0;
     SimRig rig;
@@ -537,7 +537,7 @@ TEST(EpochEngine, WcYoungerMissesWaitWithoutPrefetch)
     fillers(b, 100);
 
     SimConfig wc = SimConfig::defaults();
-    wc.memoryModel = MemoryModel::WeakConsistency;
+    wc.memoryModel = ModelDescriptor::wc();
     wc.storePrefetch = StorePrefetch::None;
     SimRig rig;
     SimResult res = rig.run(b.build(), wc);

@@ -60,7 +60,7 @@ TEST(PaperExample1, WcOneEpochMlpTwo)
 {
     SimRig rig;
     SimConfig cfg = exampleConfig();
-    cfg.memoryModel = MemoryModel::WeakConsistency;
+    cfg.memoryModel = ModelDescriptor::wc();
     SimResult res = rig.run(example1Trace(), cfg);
 
     EXPECT_EQ(res.epochs, 1u);
@@ -252,7 +252,7 @@ TEST(PaperExample6, WcCriticalSectionSingleEpoch)
 
     SimRig rig;
     SimConfig cfg = exampleConfig();
-    cfg.memoryModel = MemoryModel::WeakConsistency;
+    cfg.memoryModel = ModelDescriptor::wc();
     cfg.storeQueueSize = 32;
     cfg.storeBufferSize = 16;
     // Prefetch at execute lets I5's miss issue while the missing load
@@ -291,7 +291,7 @@ TEST(PaperExample56, PcWorseThanWc)
     SimResult res_pc = rig_pc.run(build(), pc);
 
     SimConfig wc = pc;
-    wc.memoryModel = MemoryModel::WeakConsistency;
+    wc.memoryModel = ModelDescriptor::wc();
     SimRig rig_wc;
     // The WC run uses the rewritten rendition of the same code.
     Trace wc_trace = TraceRewriter().toWeakConsistency(build());

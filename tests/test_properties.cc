@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "core/runner.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -32,7 +33,7 @@ runWith(int workload, uint64_t seed,
     spec.seed = seed;
     spec.warmupInsts = kWarmup;
     spec.measureInsts = kMeasure;
-    return Runner::run(spec);
+    return test::runMaterialized(spec);
 }
 
 // ---- invariants over (workload, seed) ----
@@ -164,11 +165,11 @@ TEST_P(MonotonicityTest, WeakConsistencyBeatsProcessorConsistency)
     pc_spec.config = SimConfig::defaults();
     pc_spec.warmupInsts = 400 * 1000;
     pc_spec.measureInsts = 500 * 1000;
-    RunOutput pc = Runner::run(pc_spec);
+    RunOutput pc = test::runMaterialized(pc_spec);
 
     RunSpec wc_spec = pc_spec;
-    wc_spec.config.memoryModel = MemoryModel::WeakConsistency;
-    RunOutput wc = Runner::run(wc_spec);
+    wc_spec.config.memoryModel = ModelDescriptor::wc();
+    RunOutput wc = test::runMaterialized(wc_spec);
 
     EXPECT_LT(wc.sim.epochsPer1000(),
               pc.sim.epochsPer1000() * 1.02);
@@ -211,7 +212,7 @@ TEST_P(MonotonicityTest, Hws2NearlyClosesConsistencyGap)
     spec.config = SimConfig::wc1().withScout(ScoutMode::Hws2);
     spec.warmupInsts = kWarmup;
     spec.measureInsts = kMeasure;
-    auto wc = Runner::run(spec);
+    auto wc = test::runMaterialized(spec);
 
     double gap = pc.sim.epochsPer1000() - wc.sim.epochsPer1000();
     EXPECT_LT(gap, 0.25 * pc.sim.epochsPer1000() + 0.05);
@@ -260,7 +261,7 @@ TEST(SmacProperty, BiggerSmacMonotone)
             smac.entries = entries;
             spec.smac = smac;
         }
-        return Runner::run(spec).sim.epochs;
+        return test::runMaterialized(spec).sim.epochs;
     };
     uint64_t none = run_smac(0);
     uint64_t small = run_smac(8 * 1024);

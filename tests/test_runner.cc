@@ -11,6 +11,7 @@
 #include "core/cpi_model.hh"
 #include "core/runner.hh"
 #include "trace/generator.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -73,7 +74,7 @@ TEST_P(CalibrationTest, Table2OverlapInBand)
     spec.config = SimConfig::defaults();
     spec.warmupInsts = kWarmup;
     spec.measureInsts = 600 * 1000;
-    RunOutput out = Runner::run(spec);
+    RunOutput out = test::runMaterialized(spec);
     double target = paper[GetParam()];
     // The fraction is noisy at this scale; require the right band.
     EXPECT_GT(out.sim.overlappedStoreFraction(), target * 0.25);
@@ -91,8 +92,8 @@ TEST(Runner, Deterministic)
     spec.warmupInsts = 20000;
     spec.measureInsts = 60000;
 
-    RunOutput a = Runner::run(spec);
-    RunOutput b = Runner::run(spec);
+    RunOutput a = test::runMaterialized(spec);
+    RunOutput b = test::runMaterialized(spec);
     EXPECT_EQ(a.sim.epochs, b.sim.epochs);
     EXPECT_EQ(a.sim.missLoads, b.sim.missLoads);
     EXPECT_EQ(a.sim.missStores, b.sim.missStores);
@@ -108,9 +109,9 @@ TEST(Runner, SeedChangesResults)
     spec.config = SimConfig::defaults();
     spec.warmupInsts = 20000;
     spec.measureInsts = 60000;
-    RunOutput a = Runner::run(spec);
+    RunOutput a = test::runMaterialized(spec);
     spec.seed = 43;
-    RunOutput b = Runner::run(spec);
+    RunOutput b = test::runMaterialized(spec);
     EXPECT_NE(a.sim.epochMisses, b.sim.epochMisses);
 }
 
@@ -121,7 +122,7 @@ TEST(Runner, MeasuresRequestedInstructionCount)
     spec.config = SimConfig::defaults();
     spec.warmupInsts = 10000;
     spec.measureInsts = 50000;
-    RunOutput out = Runner::run(spec);
+    RunOutput out = test::runMaterialized(spec);
     // The generator may overshoot by at most one critical section.
     EXPECT_GE(out.sim.instructions, 50000u);
     EXPECT_LE(out.sim.instructions, 50100u);
@@ -134,7 +135,7 @@ TEST(Runner, WeakConsistencyRewritesTrace)
     spec.config = SimConfig::wc1();
     spec.warmupInsts = 20000;
     spec.measureInsts = 60000;
-    RunOutput wc = Runner::run(spec);
+    RunOutput wc = test::runMaterialized(spec);
     // WC runs see the lwarx/stwcx/isync/lwsync rendition, which has
     // strictly more records per lock, but still executes.
     EXPECT_GT(wc.sim.instructions, 0u);
@@ -150,13 +151,13 @@ TEST(Runner, SmacReducesEpochs)
     base.warmupInsts = 500 * 1000;
     base.measureInsts = 400 * 1000;
     base.numChips = 1;
-    RunOutput no_smac = Runner::run(base);
+    RunOutput no_smac = test::runMaterialized(base);
 
     RunSpec with = base;
     SmacConfig smac;
     smac.entries = 128 * 1024; // covers 256MB > store-miss region
     with.smac = smac;
-    RunOutput yes_smac = Runner::run(with);
+    RunOutput yes_smac = test::runMaterialized(with);
 
     EXPECT_LT(yes_smac.sim.epochs, no_smac.sim.epochs);
     EXPECT_GT(yes_smac.sim.smacAcceleratedStores, 0u);
@@ -175,7 +176,7 @@ TEST(Runner, SmacCoherenceStatsPopulated)
     smac.entries = 64 * 1024;
     spec.smac = smac;
 
-    RunOutput out = Runner::run(spec);
+    RunOutput out = test::runMaterialized(spec);
     EXPECT_GT(out.peerInstructions, 0u);
     EXPECT_GT(out.smacProbeHits + out.smacProbeHitInvalidated +
                   out.smacCoherenceInvalidates,
@@ -202,7 +203,7 @@ TEST(Runner, MoreNodesMoreInvalidates)
         SmacConfig smac;
         smac.entries = 128 * 1024;
         spec.smac = smac;
-        return Runner::run(spec);
+        return test::runMaterialized(spec);
     };
     RunOutput two = run_nodes(2);
     RunOutput four = run_nodes(4);
@@ -221,7 +222,7 @@ TEST(Runner, MoesiProtocolPassesThrough)
     spec.numChips = 2;
     spec.peerTraffic = true;
     spec.protocol = CoherenceProtocol::Moesi;
-    RunOutput out = Runner::run(spec);
+    RunOutput out = test::runMaterialized(spec);
     EXPECT_GT(out.sim.epochs, 0u);
 }
 
@@ -233,7 +234,7 @@ TEST(Runner, HierarchyOverridePlumbsThrough)
     spec.warmupInsts = 20000;
     spec.measureInsts = 60000;
 
-    RunOutput paper = Runner::run(spec);
+    RunOutput paper = test::runMaterialized(spec);
 
     // A 64KB direct-mapped-ish L2 must miss far more than the paper's
     // 2MB default on the same trace.
@@ -241,13 +242,13 @@ TEST(Runner, HierarchyOverridePlumbsThrough)
     tiny.l2.sizeBytes = 64 * 1024;
     tiny.l2.assoc = 2;
     spec.hierarchy = tiny;
-    RunOutput small = Runner::run(spec);
+    RunOutput small = test::runMaterialized(spec);
 
     EXPECT_GT(small.sim.missLoads + small.sim.missStores,
               paper.sim.missLoads + paper.sim.missStores);
     // Unset optional reproduces the default exactly.
     spec.hierarchy.reset();
-    RunOutput again = Runner::run(spec);
+    RunOutput again = test::runMaterialized(spec);
     EXPECT_EQ(again.sim.missLoads, paper.sim.missLoads);
     EXPECT_EQ(again.sim.missStores, paper.sim.missStores);
     EXPECT_EQ(again.sim.epochs, paper.sim.epochs);
@@ -261,9 +262,9 @@ TEST(Runner, PrefillCanBeDisabled)
     spec.warmupInsts = 20000;
     spec.measureInsts = 40000;
     spec.prefillL2 = false;
-    RunOutput cold = Runner::run(spec);
+    RunOutput cold = test::runMaterialized(spec);
     spec.prefillL2 = true;
-    RunOutput full = Runner::run(spec);
+    RunOutput full = test::runMaterialized(spec);
     // A pre-filled L2 can only raise conflict/capacity pressure.
     EXPECT_GE(full.sim.missLoads + full.sim.missStores + 5,
               cold.sim.missLoads + cold.sim.missStores);

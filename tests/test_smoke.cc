@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/runner.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -20,7 +21,7 @@ TEST(Smoke, TinyWorkloadRuns)
     spec.warmupInsts = 20000;
     spec.measureInsts = 50000;
 
-    RunOutput out = Runner::run(spec);
+    RunOutput out = test::runMaterialized(spec);
     EXPECT_EQ(out.sim.instructions, 50000u);
     EXPECT_GT(out.sim.epochs, 0u);
     EXPECT_GT(out.sim.mlp(), 0.9);

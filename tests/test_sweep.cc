@@ -15,6 +15,7 @@
 
 #include "core/sweep.hh"
 #include "trace/generator.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -248,7 +249,7 @@ TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
     for (size_t i = 0; i < specs.size(); ++i) {
         // generateInto may overshoot the goal by a few records, so
         // compare against a serial reference run of the same spec.
-        RunOutput ref = Runner::run(specs[i]);
+        RunOutput ref = test::runMaterialized(specs[i]);
         SCOPED_TRACE("spec " + std::to_string(i));
         EXPECT_EQ(results[i].output.sim.instructions,
                   ref.sim.instructions);
@@ -334,9 +335,9 @@ TEST(Runner, TraceOverloadMatchesSelfBuiltTrace)
     spec.warmupInsts = warmupInsts();
     spec.measureInsts = measureInsts();
 
-    RunOutput a = Runner::run(spec);
+    RunOutput a = test::runMaterialized(spec);
     Trace trace = Runner::buildTrace(spec);
-    RunOutput b = Runner::run(spec, &trace);
+    RunOutput b = test::runMaterialized(spec, trace);
     expectIdentical(a, b);
 }
 

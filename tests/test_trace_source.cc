@@ -24,6 +24,7 @@
 #include "trace/trace_file_source.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_source.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -296,7 +297,7 @@ TEST(RunnerStreaming, BitIdenticalToMaterializedOnShippedConfigs)
         spec.warmupInsts = 20000;
         spec.measureInsts = 40000;
 
-        RunOutput mat = Runner::run(spec);
+        RunOutput mat = test::runMaterialized(spec);
         for (uint64_t chunk : {uint64_t{1009}, uint64_t{0}}) {
             std::unique_ptr<TraceSource> src =
                 Runner::makeSource(spec, chunk);
@@ -320,7 +321,7 @@ TEST(RunnerStreaming, FileSourceMatchesInMemoryRun)
     spec.measureInsts = 20000;
 
     Trace trace = Runner::buildTrace(spec);
-    RunOutput mem = Runner::run(spec, &trace);
+    RunOutput mem = test::runMaterialized(spec, trace);
 
     std::string path = ::testing::TempDir() + "runner_file_src.trc";
     writeTraceFileV3(path, trace, "runner-file", /*compressed=*/true);

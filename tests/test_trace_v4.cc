@@ -25,6 +25,7 @@
 #include "trace/trace_format.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_source.hh"
+#include "sim_test_util.hh"
 
 namespace storemlp
 {
@@ -581,7 +582,7 @@ TEST(TraceV4Runner, BitIdenticalToRawOnShippedConfigs)
         spec.measureInsts = 40000;
 
         Trace trace = Runner::buildTrace(spec);
-        RunOutput mat = Runner::run(spec, &trace);
+        RunOutput mat = test::runMaterialized(spec, trace);
 
         std::string base = ::testing::TempDir() + "v4_equiv_";
         std::string v1_path = base + "v1.trc";
@@ -599,7 +600,7 @@ TEST(TraceV4Runner, BitIdenticalToRawOnShippedConfigs)
             EXPECT_EQ(streamed.l2Accesses, mat.l2Accesses) << f;
 
             Trace loaded = readTraceFile(p);
-            RunOutput materialized = Runner::run(spec, &loaded);
+            RunOutput materialized = test::runMaterialized(spec, loaded);
             EXPECT_EQ(materialized.sim, mat.sim) << f << " " << p;
         }
         std::remove(v1_path.c_str());

@@ -170,7 +170,7 @@ TEST(TmEngine, WorkloadLevelBetweenBaselineAndSle)
         spec.config = cfg;
         spec.warmupInsts = 200 * 1000;
         spec.measureInsts = 300 * 1000;
-        return Runner::run(spec).sim;
+        return test::runMaterialized(spec).sim;
     };
     SimConfig base = SimConfig::defaults();
     SimConfig sle = base;

@@ -20,7 +20,7 @@ namespace
 
 TEST(StoreQueue, BasicInsertAndCapacity)
 {
-    StoreQueue sq(2, 8, false);
+    StoreQueue sq(2, 8, CoalesceScope::Tail);
     EXPECT_TRUE(sq.empty());
     EXPECT_FALSE(sq.insert(0x100, 0x100, 1, 0));
     EXPECT_FALSE(sq.insert(0x200, 0x200, 2, 0));
@@ -30,7 +30,7 @@ TEST(StoreQueue, BasicInsertAndCapacity)
 
 TEST(StoreQueue, PcCoalescesConsecutiveSameGranule)
 {
-    StoreQueue sq(4, 8, false);
+    StoreQueue sq(4, 8, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     // Same 8-byte granule, consecutive: coalesces.
     EXPECT_TRUE(sq.insert(0x104, 0x100, 2, 0));
@@ -41,7 +41,7 @@ TEST(StoreQueue, PcCoalescesConsecutiveSameGranule)
 
 TEST(StoreQueue, PcDoesNotCoalesceNonConsecutive)
 {
-    StoreQueue sq(4, 8, false);
+    StoreQueue sq(4, 8, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     sq.insert(0x200, 0x200, 2, 0); // intervening store
     EXPECT_FALSE(sq.insert(0x100, 0x100, 3, 0));
@@ -50,7 +50,7 @@ TEST(StoreQueue, PcDoesNotCoalesceNonConsecutive)
 
 TEST(StoreQueue, WcCoalescesAnyEntry)
 {
-    StoreQueue sq(4, 8, true);
+    StoreQueue sq(4, 8, CoalesceScope::ToYoungestFence);
     sq.insert(0x100, 0x100, 1, 0);
     sq.insert(0x200, 0x200, 2, 0);
     // WC rule: merges with the non-tail entry.
@@ -60,7 +60,7 @@ TEST(StoreQueue, WcCoalescesAnyEntry)
 
 TEST(StoreQueue, WcDoesNotCoalesceAcrossFence)
 {
-    StoreQueue sq(4, 8, true);
+    StoreQueue sq(4, 8, CoalesceScope::ToYoungestFence);
     sq.insert(0x100, 0x100, 1, 0);
     // Fence epoch advanced (lwsync): same granule must not merge.
     EXPECT_FALSE(sq.insert(0x100, 0x100, 2, 1));
@@ -69,14 +69,14 @@ TEST(StoreQueue, WcDoesNotCoalesceAcrossFence)
 
 TEST(StoreQueue, PcDoesNotCoalesceAcrossFence)
 {
-    StoreQueue sq(4, 8, false);
+    StoreQueue sq(4, 8, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     EXPECT_FALSE(sq.insert(0x100, 0x100, 2, 1));
 }
 
 TEST(StoreQueue, GranularityBoundaries)
 {
-    StoreQueue sq(4, 8, false);
+    StoreQueue sq(4, 8, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     // 0x108 is the next 8-byte granule: no coalescing.
     EXPECT_FALSE(sq.insert(0x108, 0x100, 2, 0));
@@ -84,7 +84,7 @@ TEST(StoreQueue, GranularityBoundaries)
 
 TEST(StoreQueue, CoalescingDisabled)
 {
-    StoreQueue sq(4, 0, false);
+    StoreQueue sq(4, 0, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     EXPECT_FALSE(sq.insert(0x100, 0x100, 2, 0));
     EXPECT_EQ(sq.size(), 2u);
@@ -93,14 +93,14 @@ TEST(StoreQueue, CoalescingDisabled)
 TEST(StoreQueue, WideGranularityCoalescesAcrossLine)
 {
     // 64-byte coalescing (the paper's Section 5.1 ablation).
-    StoreQueue sq(4, 64, false);
+    StoreQueue sq(4, 64, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     EXPECT_TRUE(sq.insert(0x138, 0x100, 2, 0));
 }
 
 TEST(StoreQueue, HeadPopAndErase)
 {
-    StoreQueue sq(4, 8, true);
+    StoreQueue sq(4, 8, CoalesceScope::ToYoungestFence);
     sq.insert(0x100, 0x100, 1, 0);
     sq.insert(0x200, 0x200, 2, 0);
     sq.insert(0x300, 0x300, 3, 0);
@@ -113,14 +113,14 @@ TEST(StoreQueue, HeadPopAndErase)
 
 TEST(StoreQueue, ReleaseFlagPreserved)
 {
-    StoreQueue sq(4, 8, false);
+    StoreQueue sq(4, 8, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0, true);
     EXPECT_TRUE(sq.head().release);
 }
 
 TEST(StoreQueue, StatsCountInsertsAndMerges)
 {
-    StoreQueue sq(8, 8, false);
+    StoreQueue sq(8, 8, CoalesceScope::Tail);
     sq.insert(0x100, 0x100, 1, 0);
     sq.insert(0x100, 0x100, 2, 0);
     sq.insert(0x200, 0x200, 3, 0);

@@ -63,8 +63,10 @@ inline const FlagSpec kChunkInstsFlag{
     "chunk-insts", "N",
     "streaming chunk size in instructions (default 65536);\n"
     "results are identical for every chunk size"};
-inline const FlagSpec kCsvFlag{
-    "csv", "", "deprecated alias of --format=csv"};
+inline const FlagSpec kModelFlag{
+    "model", "NAME|key=val,...",
+    "memory model: preset (pc|wc|rmo|wmm|sc) or descriptor\n"
+    "key=val list, e.g. pc,coalesce=none (default pc)"};
 
 /** Parsed arguments, validated against a FlagSpec table. */
 class Cli
@@ -217,24 +219,13 @@ enum class OutFormat
     Csv
 };
 
-/**
- * Parse --format (default text). The legacy `--csv` boolean is a
- * deprecated alias of `--format=csv`: it still works (one release of
- * grace for scripts) but warns on stderr; `--format` wins when both
- * are given.
- */
+/** Parse --format (default text). */
 inline OutFormat
 outFormat(const Cli &cli)
 {
     std::string f = cli.str("format", "");
-    if (f.empty()) {
-        if (cli.flag("csv")) {
-            std::cerr << "warning: --csv is deprecated; use "
-                         "--format=csv\n";
-            return OutFormat::Csv;
-        }
+    if (f.empty())
         return OutFormat::Text;
-    }
     if (f == "text")
         return OutFormat::Text;
     if (f == "json")

@@ -32,7 +32,7 @@ toolMain(int argc, char **argv)
          "workload profile (default database)"},
         {"prefetch", "sp0|sp1|sp2",
          "store prefetch policy (default sp1)"},
-        {"model", "pc|wc", "memory consistency model (default pc)"},
+        kModelFlag,
         {"sle", "", "enable speculative lock elision"},
         {"pps", "", "prefetch past serializing instructions"},
         {"scout", "off|hws0|hws1|hws2",
@@ -66,7 +66,7 @@ toolMain(int argc, char **argv)
          "synthesize the trace chunk-by-chunk instead of\n"
          "materializing it (O(chunk) trace memory)"},
         kChunkInstsFlag,
-        kFormatFlag, kOutFlag, kCsvFlag,
+        kFormatFlag, kOutFlag,
     });
 
     RunSpec spec;
@@ -105,17 +105,17 @@ toolMain(int argc, char **argv)
         sp = storePrefetchName(cfg.storePrefetch);
     }
 
-    std::string model = cli.str("model", "");
     if (cli.has("model")) {
-        if (model == "wc")
-            cfg.memoryModel = MemoryModel::WeakConsistency;
-        else if (model == "pc")
-            cfg.memoryModel = MemoryModel::ProcessorConsistency;
-        else
-            cli.fail("bad --model");
-    } else {
-        model = memoryModelName(cfg.memoryModel);
+        // Unknown presets / malformed descriptors are usage errors
+        // (exit 2), matching every other flag.
+        try {
+            cfg.memoryModel =
+                ModelDescriptor::parse(cli.str("model", ""));
+        } catch (const ConfigError &e) {
+            cli.fail(e.what());
+        }
     }
+    std::string model = cfg.memoryModel.name;
 
     if (cli.flag("sle"))
         cfg.sle = true;
@@ -206,7 +206,9 @@ toolMain(int argc, char **argv)
             Runner::makeSource(spec, chunk);
         out = Runner::run(spec, *src);
     } else {
-        out = Runner::run(spec);
+        Trace trace = Runner::buildTrace(spec);
+        MaterializedSource src(trace);
+        out = Runner::run(spec, src);
     }
 
     OutFormat fmt = outFormat(cli);
@@ -234,7 +236,7 @@ toolMain(int argc, char **argv)
     }
 
     os << "workload " << spec.profile.name << ", model "
-       << memoryModelName(cfg.memoryModel) << ", "
+       << cfg.memoryModel.name << ", "
        << storePrefetchName(cfg.storePrefetch) << ", scout "
        << scoutModeName(cfg.scout) << (cfg.sle ? ", SLE" : "")
        << "\n\n";

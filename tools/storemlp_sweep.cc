@@ -38,6 +38,10 @@ toolMain(int argc, char **argv)
          "directory of *.cfg SimConfig files (default: configs)"},
         {"workload", "all|database|tpcw|specjbb|specweb",
          "workload(s) to sweep (default all)"},
+        {"models", "LIST",
+         "also sweep the memory-model axis: run every config under\n"
+         "each model in LIST (';'-separated presets or key=val\n"
+         "descriptors; ',' also splits when no ';' is present)"},
         kJobsFlag,
         kWarmupFlag, kMeasureFlag, kSeedFlag,
         {"no-trace-cache", "", "rebuild the trace for every run"},
@@ -50,7 +54,7 @@ toolMain(int argc, char **argv)
          "retry a failing run up to N extra times (default 0)"},
         {"epoch-log", "DIR",
          "write one JSON-lines epoch trace per run into DIR"},
-        kFormatFlag, kOutFlag, kCsvFlag,
+        kFormatFlag, kOutFlag,
     });
 
     std::string dir = cli.str("dir", "configs");
@@ -76,6 +80,51 @@ toolMain(int argc, char **argv)
             cli.fail(e.what());
         }
         config_names.push_back(f.stem().string());
+    }
+
+    // --models crosses every config with every requested model
+    // descriptor, so one batch covers the whole model axis.
+    if (cli.has("models")) {
+        std::string list = cli.str("models", "");
+        char sep = list.find(';') != std::string::npos ? ';' : ',';
+        std::vector<ModelDescriptor> models;
+        size_t pos = 0;
+        while (pos <= list.size()) {
+            size_t end = list.find(sep, pos);
+            std::string tok = list.substr(
+                pos, end == std::string::npos ? std::string::npos
+                                              : end - pos);
+            if (!tok.empty()) {
+                try {
+                    models.push_back(ModelDescriptor::parse(tok));
+                } catch (const ConfigError &e) {
+                    cli.fail(e.what());
+                }
+            }
+            if (end == std::string::npos)
+                break;
+            pos = end + 1;
+        }
+        if (models.empty())
+            cli.fail("--models requires at least one model");
+        std::vector<SimConfig> crossed;
+        std::vector<std::string> crossed_names;
+        for (size_t c = 0; c < configs.size(); ++c) {
+            for (size_t mi = 0; mi < models.size(); ++mi) {
+                SimConfig cc = configs[c];
+                cc.memoryModel = models[mi];
+                crossed.push_back(cc);
+                // Preset name when it has one; positional otherwise
+                // (a custom spec() contains commas, which would break
+                // the CSV rows).
+                std::string mname = models[mi].name == "custom"
+                    ? "custom" + std::to_string(mi)
+                    : models[mi].name;
+                crossed_names.push_back(config_names[c] + "@" + mname);
+            }
+        }
+        configs = std::move(crossed);
+        config_names = std::move(crossed_names);
     }
 
     std::vector<WorkloadProfile> profiles;
