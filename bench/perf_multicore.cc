@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Multi-core contention scaling: CPI and snoop-bus invalidation
+ * traffic versus core count on the database profile, with every core
+ * fully simulated on the real bus (no statistical peer agents).
+
+ * The machine is fixed at two chips on the snooping interconnect —
+ * the paper's Section 4.3 chip topology — and the core count doubles
+ * from 2 (one core per chip) to 16 (eight sharing each L2), so every
+ * step raises both shared-L2 capacity pressure and cross-chip
+ * invalidation traffic and the CPI and bus-invalidation series climb
+ * monotonically.
+ */
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hh"
+#include "core/multi_core.hh"
+
+using namespace storemlp;
+using namespace storemlp::bench;
+
+int
+main(int argc, char **argv)
+{
+    benchInit(argc, argv, "perf_multicore");
+    BenchScale scale = BenchScale::fromEnv();
+    const uint32_t core_counts[] = {2, 4, 8, 16};
+
+    std::vector<MultiRunOutput> outs(std::size(core_counts));
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < std::size(core_counts); ++i) {
+        tasks.push_back([&outs, &core_counts, &scale, i] {
+            MultiRunSpec spec;
+            spec.profile = WorkloadProfile::database();
+            spec.config = SimConfig::defaults();
+            spec.warmupInsts = scale.warmup;
+            spec.measureInsts = scale.measure;
+            spec.cores = core_counts[i];
+            spec.chips = 2;
+            outs[i] = MultiCoreRunner::run(spec);
+        });
+    }
+    sweepTasks(tasks);
+
+    TextTable table(
+        "Multi-core contention — database: CPI and bus traffic vs "
+        "core count (2 chips)");
+    table.header({"cores", "chips", "epochs/1000", "off-chip CPI",
+                  "bus invalidations", "inval/1000", "dirty xfers"});
+    uint32_t latency = SimConfig::defaults().missLatency;
+    for (size_t i = 0; i < std::size(core_counts); ++i) {
+        const MultiRunOutput &out = outs[i];
+        table.beginRow();
+        table.cell(static_cast<double>(core_counts[i]), 0);
+        table.cell(static_cast<double>(out.chips), 0);
+        table.cell(out.combinedEpochsPer1000(), 3);
+        table.cell(out.meanOffChipCpi(latency), 4);
+        table.cell(static_cast<double>(out.busInvalidations), 0);
+        table.cell(out.busInvalidationsPer1000(), 3);
+        table.cell(static_cast<double>(out.busDirtyTransfers), 0);
+    }
+    printTable(table);
+    return 0;
+}

@@ -36,15 +36,25 @@ SnoopBus::request(const BusRequest &req)
         bool owns_in_smac = chip->smac() && chip->smac()->ownsLine(line);
         if (state || owns_in_smac) {
             resp.remoteHad = true;
-            if (state &&
-                static_cast<MesiState>(*state) == MesiState::Modified) {
-                resp.remoteModified = true;
+            // A dirty remote line supplies the data (cache-to-cache
+            // transfer). Under MESI that means Modified; under MOESI
+            // chip.cc keeps evicted-read dirty lines in Owned state
+            // and they stay the data supplier, so Owned is equally a
+            // dirty transfer.
+            if (state) {
+                MesiState st = static_cast<MesiState>(*state);
+                if (st == MesiState::Modified ||
+                    st == MesiState::Owned) {
+                    resp.remoteModified = true;
+                }
             }
         }
         chip->snoop(req);
     }
     if (resp.remoteHad)
         ++_remoteHits;
+    if (resp.remoteModified)
+        ++_dirtyTransfers;
     return resp;
 }
 

@@ -61,7 +61,14 @@ class SnoopBus
     uint64_t readExclusives() const { return _readExclusives; }
     uint64_t upgrades() const { return _upgrades; }
     uint64_t remoteHits() const { return _remoteHits; }
-    void resetStats() { _reads = _readExclusives = _upgrades = _remoteHits = 0; }
+    /** Requests answered by a dirty (Modified/Owned) remote line. */
+    uint64_t dirtyTransfers() const { return _dirtyTransfers; }
+    void
+    resetStats()
+    {
+        _reads = _readExclusives = _upgrades = _remoteHits = 0;
+        _dirtyTransfers = 0;
+    }
 
     /**
      * Register transaction counters under `prefix`, including the
@@ -77,6 +84,7 @@ class SnoopBus
     uint64_t _readExclusives = 0;
     uint64_t _upgrades = 0;
     uint64_t _remoteHits = 0;
+    uint64_t _dirtyTransfers = 0;
 };
 
 } // namespace storemlp

@@ -6,12 +6,14 @@
 #include "core/dual_core.hh"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "coherence/chip.hh"
 #include "core/mlp_sim.hh"
-#include "trace/generator.hh"
 #include "trace/lock_detector.hh"
 #include "trace/rewriter.hh"
+#include "trace/trace_source.hh"
 
 namespace storemlp
 {
@@ -26,26 +28,46 @@ DualRunOutput::combinedEpochsPer1000() const
         static_cast<double>(insts);
 }
 
+namespace
+{
+
+/**
+ * A core's record stream: synthesized chunk by chunk, rewritten to
+ * weak consistency in-stream when the model asks for it. Distinct
+ * generator ids place each core's private data apart while both share
+ * the globally shared store region.
+ */
+std::unique_ptr<TraceSource>
+coreSource(const DualRunSpec &spec, uint64_t seed, uint32_t gen_id,
+           uint64_t total)
+{
+    std::unique_ptr<TraceSource> src = std::make_unique<GeneratorSource>(
+        spec.profile, seed, total, gen_id);
+    if (spec.config.memoryModel.wcTraceRewrite())
+        src = std::make_unique<WcRewriteSource>(std::move(src));
+    return src;
+}
+
+} // namespace
+
 DualRunOutput
 DualCoreRunner::run(const DualRunSpec &spec)
 {
-    // Distinct generator ids place each core's private data apart
-    // while both share the globally shared store region.
-    SyntheticTraceGenerator gen0(spec.profile, spec.seed, 0);
-    SyntheticTraceGenerator gen1(spec.profile, spec.seed + 1, 101);
     uint64_t total = spec.warmupInsts + spec.measureInsts;
-    Trace t0 = gen0.generate(total);
-    Trace t1 = gen1.generate(total);
+    std::unique_ptr<TraceSource> src0 =
+        coreSource(spec, spec.seed, 0, total);
+    std::unique_ptr<TraceSource> src1 =
+        coreSource(spec, spec.seed + 1, 101, total);
 
-    if (spec.config.memoryModel.wcTraceRewrite()) {
-        TraceRewriter rw;
-        t0 = rw.toWeakConsistency(t0);
-        t1 = rw.toWeakConsistency(t1);
+    // Lock analysis feeds SLE/TM only; the simulator never reads it
+    // otherwise (Runner::run semantics), so skip the extra streaming
+    // pass — and its one-byte-per-record roles vector — unless those
+    // optimizations are on.
+    std::optional<LockAnalysis> locks0, locks1;
+    if (spec.config.sle || spec.config.tm.enabled) {
+        locks0 = analyzeSource(*src0);
+        locks1 = analyzeSource(*src1);
     }
-
-    LockDetector detector;
-    LockAnalysis locks0 = detector.analyze(t0);
-    LockAnalysis locks1 = detector.analyze(t1);
 
     ChipNode chip(HierarchyConfig{}, 0);
     if (spec.prefillL2) {
@@ -59,27 +81,45 @@ DualCoreRunner::run(const DualRunSpec &spec)
     SimConfig cfg = spec.config;
     cfg.cpiOnChip = spec.profile.cpiOnChip;
 
-    MlpSimulator sim0(cfg, chip, &locks0);
-    MlpSimulator sim1(cfg, chip, &locks1);
+    MlpSimulator sim0(cfg, chip, locks0 ? &*locks0 : nullptr);
+    MlpSimulator sim1(cfg, chip, locks1 ? &*locks1 : nullptr);
+
+    TraceCursor cur0(*src0);
+    TraceCursor cur1(*src1);
 
     // Interleave the cores at a fixed quantum. The epoch engines keep
     // private pipeline state; only the chip's memory system is shared,
     // so quantum-granular interleaving approximates concurrent
-    // execution (cache/coherence interactions happen in order).
+    // execution (cache/coherence interactions happen in order). A
+    // quantum straddling the warmup boundary is split at the exact
+    // boundary so collection starts at record warmupInsts, not at the
+    // next quantum edge.
     uint64_t q = std::max<uint64_t>(1, spec.quantum);
-    uint64_t end0 = t0.size();
-    uint64_t end1 = t1.size();
+    uint64_t warm = spec.warmupInsts;
+    auto turn = [&](MlpSimulator &sim, TraceCursor &cur, bool &done,
+                    uint64_t begin, uint64_t end) {
+        if (done)
+            return;
+        if (begin < warm && end > warm) {
+            sim.process(cur, begin, warm, false);
+            if (sim.position() < warm) {
+                done = true;
+                return;
+            }
+            sim.process(cur, warm, end, true);
+        } else {
+            sim.process(cur, begin, end, begin >= warm);
+        }
+        done = sim.position() < end; // stopped early: end of stream
+    };
+
+    bool done0 = false;
+    bool done1 = false;
     uint64_t pos = 0;
-    uint64_t max_end = std::max(end0, end1);
-    while (pos < max_end) {
+    while (!done0 || !done1) {
         uint64_t next = pos + q;
-        bool collect = pos >= spec.warmupInsts;
-        if (pos < end0) {
-            sim0.process(t0, pos, std::min(next, end0), collect);
-        }
-        if (pos < end1) {
-            sim1.process(t1, pos, std::min(next, end1), collect);
-        }
+        turn(sim0, cur0, done0, pos, next);
+        turn(sim1, cur1, done1, pos, next);
         pos = next;
     }
 

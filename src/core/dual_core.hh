@@ -5,7 +5,14 @@
  * standard Runner models the second core as a cache-traffic agent,
  * this runner simulates BOTH cores with full epoch engines over the
  * shared memory system, interleaved at a fixed instruction quantum,
- * and reports each core's epoch statistics.
+ * and reports each core's epoch statistics. Each core streams its own
+ * TraceSource (O(chunk) resident trace memory); a quantum straddling
+ * the warmup boundary is split exactly there, so measurement always
+ * starts at record warmupInsts regardless of quantum divisibility.
+ *
+ * MultiCoreRunner (multi_core.hh) generalizes this to N cores over M
+ * bus-connected chips; with cores=2, chips=1 it reproduces this
+ * runner's per-core results bit for bit (pinned by test_multi_core).
  */
 
 #ifndef STOREMLP_CORE_DUAL_CORE_HH

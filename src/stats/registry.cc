@@ -157,13 +157,21 @@ StatsRegistry::clear()
 void
 StatsRegistry::mergeFrom(const StatsRegistry &other)
 {
+    mergeFrom(other, std::string());
+}
+
+void
+StatsRegistry::mergeFrom(const StatsRegistry &other,
+                         const std::string &prefix)
+{
     for (const StatEntry &e : other._entries) {
+        std::string name = prefix + e.name;
         switch (e.kind) {
-          case StatKind::Counter: counter(e.name, e.u64); break;
-          case StatKind::Scalar: scalar(e.name, e.scalar); break;
-          case StatKind::Text: text(e.name, e.text); break;
-          case StatKind::Histogram: histogram(e.name, e.hist); break;
-          case StatKind::Joint: joint(e.name, e.joint); break;
+          case StatKind::Counter: counter(name, e.u64); break;
+          case StatKind::Scalar: scalar(name, e.scalar); break;
+          case StatKind::Text: text(name, e.text); break;
+          case StatKind::Histogram: histogram(name, e.hist); break;
+          case StatKind::Joint: joint(name, e.joint); break;
         }
     }
 }

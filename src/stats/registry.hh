@@ -99,6 +99,14 @@ class StatsRegistry
     /** Append every entry of `other` (overwriting same-named ones). */
     void mergeFrom(const StatsRegistry &other);
 
+    /**
+     * Same, with every incoming name prefixed (`prefix + name`).
+     * Namespaces one producer's stats inside a larger document — the
+     * multi-core runner registers each core's SimResult under
+     * `cpu<i>.` and each chip's machine stats under `chip<m>.`.
+     */
+    void mergeFrom(const StatsRegistry &other, const std::string &prefix);
+
     bool operator==(const StatsRegistry &other) const
     {
         return _entries == other._entries;

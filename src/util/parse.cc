@@ -7,6 +7,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/error.hh"
@@ -29,6 +30,28 @@ parseU64Strict(const std::string &s)
     if (errno == ERANGE || end != s.c_str() + s.size())
         return std::nullopt;
     return static_cast<uint64_t>(v);
+}
+
+std::optional<double>
+parseDoubleStrict(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    // strtod also accepts hex ("0x10"), "nan" and "inf"; a decimal
+    // number needs nothing outside this set.
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) &&
+            c != '.' && c != 'e' && c != 'E' && c != '+' && c != '-')
+            return std::nullopt;
+    }
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno == ERANGE || end != s.c_str() + s.size())
+        return std::nullopt;
+    if (!std::isfinite(v))
+        return std::nullopt;
+    return v;
 }
 
 uint64_t

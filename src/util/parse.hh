@@ -28,6 +28,14 @@ namespace storemlp
 std::optional<uint64_t> parseU64Strict(const std::string &s);
 
 /**
+ * Parse a full string as a finite decimal double. Same contract as
+ * parseU64Strict: the entire string must be the number ("0.4x",
+ * "nan", "inf" and empty strings all fail). A leading '-' is
+ * accepted; range checking is the caller's business.
+ */
+std::optional<double> parseDoubleStrict(const std::string &s);
+
+/**
  * Read an environment variable as a uint64_t in [min_value,
  * max_value]. Unset returns `def`; set-but-malformed (or out of
  * range) throws ConfigError naming the variable — a mistyped knob

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/dual_core.hh"
 #include "core/runner.hh"
 #include "sim_test_util.hh"
@@ -90,6 +92,29 @@ TEST(DualCore, QuantumDoesNotChangeTotalsMuch)
     double ea = ra.combinedEpochsPer1000();
     double eb = rb.combinedEpochsPer1000();
     EXPECT_NEAR(ea, eb, 0.25 * std::max(ea, eb));
+}
+
+TEST(DualCore, WarmupBoundaryExactWhenQuantumDoesNotDivide)
+{
+    // Regression: the runner used to hand whole quanta to the
+    // simulator with collection flipped per quantum, so a warmup that
+    // is not a multiple of the quantum (50000 % 256 = 80,
+    // 50000 % 192 = 72) measured the trailing warmup records. The
+    // measured instruction count must be streamLen - warmup no matter
+    // the interleaving granularity.
+    std::vector<uint64_t> quanta = {1, 64, 256, 192};
+    std::vector<DualRunOutput> outs;
+    for (uint64_t q : quanta) {
+        DualRunSpec spec = tinySpec();
+        spec.quantum = q;
+        outs.push_back(DualCoreRunner::run(spec));
+    }
+    for (size_t i = 1; i < outs.size(); ++i) {
+        EXPECT_EQ(outs[i].core0.instructions, outs[0].core0.instructions)
+            << "quantum " << quanta[i];
+        EXPECT_EQ(outs[i].core1.instructions, outs[0].core1.instructions)
+            << "quantum " << quanta[i];
+    }
 }
 
 TEST(DualCore, WeakConsistencySupported)

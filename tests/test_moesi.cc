@@ -140,6 +140,47 @@ TEST(Moesi, ModifiedEvictionStillPopulatesSmac)
     EXPECT_TRUE(a.smac()->ownsLine(0x60000));
 }
 
+TEST(Moesi, OwnedLineAnswersAsDirtyTransfer)
+{
+    // Regression: the bus only flagged remoteModified for Modified
+    // lines, but under MOESI a dirty line demoted to Owned by a
+    // remote read is still the data supplier — a later read must be
+    // reported as a dirty cache-to-cache transfer too.
+    MoesiPair m;
+    m.a.store(0x70000); // a: Modified
+    m.b.load(0x70000);  // a: Owned, b: Shared
+    ASSERT_EQ(l2State(m.a, 0x70000), MesiState::Owned);
+
+    uint64_t before = m.bus.dirtyTransfers();
+    BusRequest req;
+    req.kind = BusRequest::Kind::Rd;
+    req.line = m.a.hierarchy().lineAddr(0x70000);
+    req.srcChip = 1;
+    BusResponse resp = m.bus.request(req);
+    EXPECT_TRUE(resp.remoteHad);
+    EXPECT_TRUE(resp.remoteModified)
+        << "an Owned remote line is dirty and supplies the data";
+    EXPECT_EQ(m.bus.dirtyTransfers(), before + 1);
+}
+
+TEST(Moesi, ModifiedLineCountsDirtyTransferOnRemoteRead)
+{
+    MoesiPair m;
+    m.a.store(0x80000); // a: Modified
+    uint64_t before = m.bus.dirtyTransfers();
+    m.b.load(0x80000);  // remote read hits the dirty line
+    EXPECT_EQ(m.bus.dirtyTransfers(), before + 1);
+}
+
+TEST(Moesi, CleanRemoteLineIsNotADirtyTransfer)
+{
+    MoesiPair m;
+    m.a.load(0x90000);  // a: Exclusive (clean)
+    uint64_t before = m.bus.dirtyTransfers();
+    m.b.load(0x90000);
+    EXPECT_EQ(m.bus.dirtyTransfers(), before);
+}
+
 TEST(Moesi, ProtocolAccessorsReport)
 {
     ChipNode mesi(HierarchyConfig{}, 0);

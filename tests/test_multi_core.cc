@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the N-core contention runner: determinism (repeated runs,
+ * worker-pool concurrency, quantum granularity), agreement with the
+ * fixed dual-core runner at N=2/M=1, contention-knob behaviour on the
+ * real snoop bus, and topology validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "core/dual_core.hh"
+#include "core/multi_core.hh"
+#include "core/sweep.hh"
+#include "util/error.hh"
+
+namespace storemlp
+{
+namespace
+{
+
+MultiRunSpec
+tinySpec(uint32_t cores = 2, uint32_t chips = 1)
+{
+    MultiRunSpec spec;
+    spec.profile = WorkloadProfile::testTiny();
+    spec.config = SimConfig::defaults();
+    spec.warmupInsts = 50 * 1000;
+    spec.measureInsts = 100 * 1000;
+    spec.cores = cores;
+    spec.chips = chips;
+    return spec;
+}
+
+TEST(MultiCore, RejectsDegenerateTopology)
+{
+    MultiRunSpec spec = tinySpec();
+    spec.cores = 0;
+    EXPECT_THROW(MultiCoreRunner::run(spec), ConfigError);
+    spec = tinySpec();
+    spec.chips = 0;
+    EXPECT_THROW(MultiCoreRunner::run(spec), ConfigError);
+    spec = tinySpec(2, 3);
+    EXPECT_THROW(MultiCoreRunner::run(spec), ConfigError);
+}
+
+TEST(MultiCore, EveryCoreMeasures)
+{
+    MultiRunOutput out = MultiCoreRunner::run(tinySpec(4, 2));
+    ASSERT_EQ(out.cores.size(), 4u);
+    for (const SimResult &r : out.cores) {
+        EXPECT_GT(r.instructions, 90 * 1000u);
+        EXPECT_GT(r.epochs, 0u);
+    }
+    EXPECT_EQ(out.combined.instructions,
+              out.cores[0].instructions + out.cores[1].instructions +
+                  out.cores[2].instructions + out.cores[3].instructions);
+    EXPECT_GT(out.combinedEpochsPer1000(), 0.0);
+}
+
+TEST(MultiCore, RepeatedRunsBitIdentical)
+{
+    MultiRunOutput a = MultiCoreRunner::run(tinySpec(4, 2));
+    MultiRunOutput b = MultiCoreRunner::run(tinySpec(4, 2));
+    ASSERT_EQ(a.cores.size(), b.cores.size());
+    for (size_t i = 0; i < a.cores.size(); ++i)
+        EXPECT_EQ(a.cores[i], b.cores[i]) << "core " << i;
+    EXPECT_EQ(a.busInvalidations, b.busInvalidations);
+    EXPECT_EQ(a.busDirtyTransfers, b.busDirtyTransfers);
+    EXPECT_EQ(a.machine, b.machine);
+}
+
+TEST(MultiCore, DeterministicAcrossWorkerPools)
+{
+    // Four independent runs executed serially and on a 4-worker pool
+    // must agree slot for slot: MultiCoreRunner shares no mutable
+    // state between invocations.
+    auto batch = [](unsigned jobs) {
+        std::vector<MultiRunOutput> outs(4);
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 4; ++i) {
+            tasks.push_back([&outs, i] {
+                MultiRunSpec spec = tinySpec(3, i % 2 ? 3 : 1);
+                spec.seed = 42 + i;
+                outs[i] = MultiCoreRunner::run(spec);
+            });
+        }
+        SweepOptions opts;
+        opts.jobs = jobs;
+        opts.progress = false;
+        SweepEngine engine(opts);
+        for (const TaskStatus &st : engine.runTasks(tasks))
+            EXPECT_TRUE(st.ok) << st.errorMessage;
+        return outs;
+    };
+    std::vector<MultiRunOutput> serial = batch(1);
+    std::vector<MultiRunOutput> pooled = batch(4);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(serial[i].cores, pooled[i].cores) << "slot " << i;
+        EXPECT_EQ(serial[i].busInvalidations, pooled[i].busInvalidations)
+            << "slot " << i;
+    }
+}
+
+TEST(MultiCore, QuantumPreservesMeasuredInstructions)
+{
+    // The number of measured records is streamLen - warmup no matter
+    // how the interleaving quantizes: the warmup boundary is honoured
+    // exactly even when warmup % quantum != 0 (50000 % 256 = 80,
+    // 50000 % 192 = 72).
+    std::vector<uint64_t> quanta = {1, 64, 256, 192};
+    std::vector<MultiRunOutput> outs;
+    for (uint64_t q : quanta) {
+        MultiRunSpec spec = tinySpec(2, 2);
+        spec.quantum = q;
+        outs.push_back(MultiCoreRunner::run(spec));
+    }
+    for (size_t i = 1; i < outs.size(); ++i) {
+        ASSERT_EQ(outs[i].cores.size(), outs[0].cores.size());
+        for (size_t c = 0; c < outs[0].cores.size(); ++c) {
+            EXPECT_EQ(outs[i].cores[c].instructions,
+                      outs[0].cores[c].instructions)
+                << "quantum " << quanta[i] << " core " << c;
+        }
+    }
+    // Interleaving granularity perturbs which accesses collide on the
+    // bus, but the ping-pong invalidation picture must stay stable.
+    for (size_t i = 1; i < outs.size(); ++i) {
+        double a = static_cast<double>(outs[0].busInvalidations);
+        double b = static_cast<double>(outs[i].busInvalidations);
+        EXPECT_NEAR(a, b, 0.30 * std::max(a, b) + 16.0)
+            << "quantum " << quanta[i];
+    }
+}
+
+TEST(MultiCore, TwoCoresOneChipMatchesDualCoreRunner)
+{
+    // N=2 on one chip is exactly the dual-core configuration; the two
+    // independent implementations must agree bit for bit.
+    DualRunSpec dspec;
+    dspec.profile = WorkloadProfile::testTiny();
+    dspec.config = SimConfig::defaults();
+    dspec.warmupInsts = 50 * 1000;
+    dspec.measureInsts = 100 * 1000;
+    DualRunOutput dual = DualCoreRunner::run(dspec);
+
+    MultiRunSpec mspec = tinySpec(2, 1);
+    MultiRunOutput multi = MultiCoreRunner::run(mspec);
+    ASSERT_EQ(multi.cores.size(), 2u);
+    EXPECT_EQ(multi.cores[0], dual.core0);
+    EXPECT_EQ(multi.cores[1], dual.core1);
+}
+
+TEST(MultiCore, SingleChipHasNoBusTraffic)
+{
+    MultiRunOutput out = MultiCoreRunner::run(tinySpec(4, 1));
+    EXPECT_EQ(out.busInvalidations, 0u);
+    EXPECT_EQ(out.busDirtyTransfers, 0u);
+    EXPECT_FALSE(out.machine.has("coherence.invalidations"));
+}
+
+TEST(MultiCore, SharedStoresDriveBusInvalidations)
+{
+    MultiRunSpec low = tinySpec(4, 4);
+    low.sharedStoreFrac = 0.02;
+    MultiRunSpec high = tinySpec(4, 4);
+    high.sharedStoreFrac = 0.40;
+    MultiRunOutput lo = MultiCoreRunner::run(low);
+    MultiRunOutput hi = MultiCoreRunner::run(high);
+    EXPECT_GT(lo.busInvalidations, 0u);
+    EXPECT_GT(hi.busInvalidations, lo.busInvalidations)
+        << "raising the shared-store fraction must raise cross-chip "
+           "invalidation traffic";
+}
+
+TEST(MultiCore, MoesiSuppliesDirtyTransfers)
+{
+    MultiRunSpec spec = tinySpec(4, 4);
+    spec.protocol = CoherenceProtocol::Moesi;
+    spec.sharedStoreFrac = 0.30;
+    MultiRunOutput out = MultiCoreRunner::run(spec);
+    // Shared data written by one chip and read by another crosses the
+    // bus as a dirty (Modified or Owned) cache-to-cache transfer.
+    EXPECT_GT(out.busDirtyTransfers, 0u);
+    EXPECT_EQ(out.busDirtyTransfers,
+              out.machine.getCounter("coherence.dirtyTransfers"));
+}
+
+TEST(MultiCore, ExportStatsCarriesTopologyAndPerCore)
+{
+    MultiRunOutput out = MultiCoreRunner::run(tinySpec(3, 2));
+    StatsRegistry reg;
+    out.exportStats(reg);
+    EXPECT_EQ(reg.getCounter("multicore.cores"), 3u);
+    EXPECT_EQ(reg.getCounter("multicore.chips"), 2u);
+    EXPECT_EQ(reg.getCounter("core.instructions"),
+              out.combined.instructions);
+    EXPECT_EQ(reg.getCounter("cpu0.core.instructions"),
+              out.cores[0].instructions);
+    EXPECT_EQ(reg.getCounter("cpu2.core.instructions"),
+              out.cores[2].instructions);
+    EXPECT_TRUE(reg.has("chip0.cache.l2Accesses"));
+    EXPECT_TRUE(reg.has("chip1.cache.l2Accesses"));
+    EXPECT_TRUE(reg.has("derived.busInvalidationsPer1000"));
+}
+
+TEST(MultiCore, LockDensityKnobTakesEffect)
+{
+    // Raising lockProb changes the synthesized streams (more
+    // critical sections); the runs must still be deterministic and
+    // the knob must actually reach the generator.
+    MultiRunSpec base = tinySpec(2, 2);
+    MultiRunSpec locky = tinySpec(2, 2);
+    locky.lockProb = 0.05;
+    MultiRunOutput a = MultiCoreRunner::run(base);
+    MultiRunOutput b = MultiCoreRunner::run(locky);
+    EXPECT_NE(a.cores[0], b.cores[0])
+        << "lockProb override did not reach the trace generator";
+}
+
+} // namespace
+} // namespace storemlp

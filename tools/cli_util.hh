@@ -140,6 +140,21 @@ class Cli
         return *v;
     }
 
+    /** Floating-point flag value, strictly validated like num(). */
+    double
+    fnum(const std::string &key, double def) const
+    {
+        auto it = _args.find(key);
+        if (it == _args.end())
+            return def;
+        std::optional<double> v = parseDoubleStrict(it->second);
+        if (!v) {
+            fail("bad --" + key + " value '" + it->second +
+                 "': expected a decimal number");
+        }
+        return *v;
+    }
+
     bool flag(const std::string &key) const { return has(key); }
 
     std::string

@@ -14,6 +14,7 @@
 
 #include "cli_util.hh"
 #include "core/config_io.hh"
+#include "core/multi_core.hh"
 #include "core/runner.hh"
 #include "stats/stats_json.hh"
 #include "trace/trace_file_source.hh"
@@ -50,6 +51,19 @@ toolMain(int argc, char **argv)
         {"chips", "N", "chips in the multiprocessor (default 1)"},
         {"peers", "", "drive remote chips with peer traffic"},
         {"sibling", "", "second core sharing the measured L2"},
+        {"cores", "N",
+         "simulate N full cores spread across --chips chips\n"
+         "(contention mode: every core is simulated, no peer\n"
+         "agents; incompatible with --trace/--peers/--sibling)"},
+        {"quantum", "N",
+         "instructions per core per interleaving turn in\n"
+         "--cores mode (default 256)"},
+        {"shared-frac", "F",
+         "fraction of cold stores to the globally shared\n"
+         "region in --cores mode (default per workload)"},
+        {"lock-prob", "F",
+         "critical-section probability per slot in --cores\n"
+         "mode (default per workload)"},
         {"moesi", "", "MOESI coherence (default MESI)"},
         {"latency", "N", "off-chip miss penalty (default 500)"},
         kWarmupFlag, kMeasureFlag, kSeedFlag,
@@ -184,6 +198,87 @@ toolMain(int argc, char **argv)
     spec.siblingCore = cli.flag("sibling");
     applyRunLengths(cli, spec.warmupInsts, spec.measureInsts,
                     spec.seed);
+
+    if (cli.has("cores")) {
+        // Contention mode: N full epoch engines on the real snoop
+        // bus. The statistical remote-traffic machinery (--peers,
+        // --sibling) and on-disk traces don't apply here.
+        for (const char *bad : {"peers", "sibling", "trace",
+                                "epoch-log", "stream"}) {
+            if (cli.has(bad)) {
+                cli.fail(std::string("--") + bad +
+                         " cannot be combined with --cores");
+            }
+        }
+        MultiRunSpec mspec;
+        mspec.profile = spec.profile;
+        mspec.config = spec.config;
+        mspec.seed = spec.seed;
+        mspec.warmupInsts = spec.warmupInsts;
+        mspec.measureInsts = spec.measureInsts;
+        mspec.cores = static_cast<uint32_t>(cli.num("cores", 2));
+        if (mspec.cores == 0) cli.fail("--cores must be >= 1");
+        mspec.chips = spec.numChips;
+        mspec.quantum = cli.num("quantum", 256);
+        if (mspec.quantum == 0) cli.fail("--quantum must be >= 1");
+        mspec.smac = spec.smac;
+        mspec.protocol = spec.protocol;
+        mspec.hierarchy = spec.hierarchy;
+        mspec.chunkInsts = cli.num("chunk-insts", 0);
+        if (cli.has("shared-frac"))
+            mspec.sharedStoreFrac = cli.fnum("shared-frac", 0.0);
+        if (cli.has("lock-prob"))
+            mspec.lockProb = cli.fnum("lock-prob", 0.0);
+
+        MultiRunOutput mout = MultiCoreRunner::run(mspec);
+
+        OutFormat fmt = outFormat(cli);
+        OutputSink sink(cli);
+        std::ostream &os = sink.stream();
+        if (fmt != OutFormat::Text) {
+            StatsMeta meta = {
+                {"tool", "storemlp_sim"},
+                {"mode", "multicore"},
+                {"workload", spec.profile.name},
+                {"model", model},
+                {"cores", std::to_string(mspec.cores)},
+                {"chips", std::to_string(mspec.chips)},
+                {"seed", std::to_string(spec.seed)},
+                {"warmup", std::to_string(spec.warmupInsts)},
+                {"measure", std::to_string(spec.measureInsts)},
+            };
+            StatsRegistry reg;
+            mout.exportStats(reg);
+            if (fmt == OutFormat::Json)
+                writeStatsJson(os, reg, meta, /*pretty=*/true);
+            else
+                writeStatsCsv(os, reg, meta);
+            return 0;
+        }
+        os << "workload " << spec.profile.name << ", model "
+           << cfg.memoryModel.name << ", " << mspec.cores
+           << " cores on " << mspec.chips << " chip"
+           << (mspec.chips > 1 ? "s" : "") << "\n\n";
+        for (size_t i = 0; i < mout.cores.size(); ++i) {
+            const SimResult &r = mout.cores[i];
+            os << "cpu" << i << ": " << r.instructions
+               << " insts, epochs/1000 " << r.epochsPer1000()
+               << ", off-chip CPI ("
+               << cfg.missLatency
+               << "cy) " << r.offChipCpi(cfg.missLatency) << "\n";
+        }
+        os << "\ncombined epochs/1000: "
+           << mout.combinedEpochsPer1000()
+           << "\nmean off-chip CPI: "
+           << mout.meanOffChipCpi(cfg.missLatency) << "\n";
+        if (mspec.chips > 1) {
+            os << "bus invalidations: " << mout.busInvalidations
+               << " (" << mout.busInvalidationsPer1000()
+               << "/1000 insts), dirty transfers: "
+               << mout.busDirtyTransfers << "\n";
+        }
+        return 0;
+    }
 
     std::ofstream epoch_ofs;
     if (cli.has("epoch-log")) {

@@ -12,14 +12,17 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <vector>
 
 #include "cli_util.hh"
 #include "core/config_io.hh"
+#include "core/multi_core.hh"
 #include "core/sweep.hh"
 #include "stats/stats_json.hh"
 #include "stats/table.hh"
@@ -42,6 +45,20 @@ toolMain(int argc, char **argv)
          "also sweep the memory-model axis: run every config under\n"
          "each model in LIST (';'-separated presets or key=val\n"
          "descriptors; ',' also splits when no ';' is present)"},
+        {"cores", "LIST",
+         "sweep the core-count axis: run every (workload, config)\n"
+         "point on the N-core contention runner for each core count\n"
+         "in LIST (comma-separated, e.g. 1,2,4,8); run names become\n"
+         "config@cores=N"},
+        {"chips", "N",
+         "chips for --cores runs (default: one chip per core);\n"
+         "cores are assigned round-robin"},
+        {"quantum", "N",
+         "interleaving quantum for --cores runs (default 256)"},
+        {"shared-frac", "F",
+         "shared-store fraction override for --cores runs"},
+        {"lock-prob", "F",
+         "lock-density override for --cores runs"},
         kJobsFlag,
         kWarmupFlag, kMeasureFlag, kSeedFlag,
         {"no-trace-cache", "", "rebuild the trace for every run"},
@@ -136,6 +153,236 @@ toolMain(int argc, char **argv)
 
     uint64_t warmup, measure, seed;
     applyRunLengths(cli, warmup, measure, seed);
+
+    if (cli.has("cores")) {
+        // Core-count axis: every (workload, config) point runs on the
+        // N-core contention runner for each requested core count. The
+        // runs are not RunSpec-shaped, so they go through the engine's
+        // task pool directly; slots are indexed, keeping results in
+        // submission order regardless of --jobs.
+        for (const char *bad : {"epoch-log", "retries", "stream"}) {
+            if (cli.has(bad)) {
+                cli.fail(std::string("--") + bad +
+                         " cannot be combined with --cores");
+            }
+        }
+        std::vector<uint32_t> core_counts;
+        {
+            std::string list = cli.str("cores", "");
+            size_t pos = 0;
+            while (pos <= list.size()) {
+                size_t end = list.find(',', pos);
+                std::string tok = list.substr(
+                    pos, end == std::string::npos ? std::string::npos
+                                                  : end - pos);
+                if (!tok.empty()) {
+                    std::optional<uint64_t> v = parseU64Strict(tok);
+                    if (!v || !*v) {
+                        cli.fail("bad --cores entry '" + tok +
+                                 "': expected a positive integer");
+                    }
+                    core_counts.push_back(
+                        static_cast<uint32_t>(*v));
+                }
+                if (end == std::string::npos)
+                    break;
+                pos = end + 1;
+            }
+            if (core_counts.empty())
+                cli.fail("--cores requires at least one core count");
+        }
+        uint64_t chips_flag = cli.num("chips", 0);
+
+        struct McRun
+        {
+            const WorkloadProfile *profile;
+            size_t config;
+            uint32_t cores;
+            std::string name;
+            MultiRunOutput output;
+            double wallMs = 0.0;
+            bool ok = false;
+            std::string errorMessage;
+        };
+        std::vector<McRun> runs;
+        for (const auto &profile : profiles) {
+            for (size_t c = 0; c < configs.size(); ++c) {
+                for (uint32_t n : core_counts) {
+                    if (chips_flag > n) {
+                        cli.fail("--chips " +
+                                 std::to_string(chips_flag) +
+                                 " exceeds core count " +
+                                 std::to_string(n));
+                    }
+                    McRun r;
+                    r.profile = &profile;
+                    r.config = c;
+                    r.cores = n;
+                    r.name = profile.name + "_" + config_names[c] +
+                        "@cores=" + std::to_string(n);
+                    runs.push_back(std::move(r));
+                }
+            }
+        }
+
+        std::optional<double> shared_frac;
+        if (cli.has("shared-frac"))
+            shared_frac = cli.fnum("shared-frac", 0.0);
+        std::optional<double> lock_prob;
+        if (cli.has("lock-prob"))
+            lock_prob = cli.fnum("lock-prob", 0.0);
+        uint64_t quantum = cli.num("quantum", 256);
+        uint64_t chunk = cli.num("chunk-insts", 0);
+
+        std::vector<std::function<void()>> tasks;
+        for (McRun &r : runs) {
+            tasks.push_back([&r, &configs, chips_flag, quantum, chunk,
+                             shared_frac, lock_prob, warmup, measure,
+                             seed] {
+                MultiRunSpec spec;
+                spec.profile = *r.profile;
+                spec.config = configs[r.config];
+                spec.seed = seed;
+                spec.warmupInsts = warmup;
+                spec.measureInsts = measure;
+                spec.quantum = quantum;
+                spec.cores = r.cores;
+                spec.chips = chips_flag
+                    ? static_cast<uint32_t>(chips_flag)
+                    : r.cores;
+                spec.sharedStoreFrac = shared_frac;
+                spec.lockProb = lock_prob;
+                spec.chunkInsts = chunk;
+                auto t0 = std::chrono::steady_clock::now();
+                r.output = MultiCoreRunner::run(spec);
+                r.wallMs = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+                r.ok = true;
+            });
+        }
+
+        SweepOptions opts;
+        if (cli.has("jobs"))
+            opts.jobs = static_cast<unsigned>(cli.num("jobs", 0));
+        SweepEngine engine(opts);
+        std::vector<TaskStatus> statuses = engine.runTasks(tasks);
+        size_t failed = 0;
+        for (size_t i = 0; i < runs.size(); ++i) {
+            if (!statuses[i].ok) {
+                runs[i].errorMessage = statuses[i].errorMessage;
+                ++failed;
+            }
+        }
+
+        OutFormat fmt = outFormat(cli);
+        OutputSink sink(cli);
+        std::ostream &os = sink.stream();
+
+        if (fmt == OutFormat::Csv) {
+            os << "workload,config,cores,chips,epochs_per_1000,"
+                  "mean_offchip_cpi,bus_invalidations,"
+                  "bus_inval_per_1000,bus_dirty_transfers,wall_ms,"
+                  "ok\n";
+            for (const McRun &r : runs) {
+                os << r.profile->name << "," << config_names[r.config]
+                   << "@cores=" << r.cores << "," << r.cores << ","
+                   << (chips_flag ? chips_flag : r.cores) << ","
+                   << r.output.combinedEpochsPer1000() << ","
+                   << r.output.meanOffChipCpi(
+                          configs[r.config].missLatency)
+                   << "," << r.output.busInvalidations << ","
+                   << r.output.busInvalidationsPer1000() << ","
+                   << r.output.busDirtyTransfers << "," << r.wallMs
+                   << "," << (r.ok ? 1 : 0) << "\n";
+            }
+            for (const McRun &r : runs) {
+                if (!r.ok)
+                    std::cerr << "error: " << r.errorMessage << "\n";
+            }
+            return failed ? 1 : 0;
+        }
+
+        if (fmt == OutFormat::Json) {
+            for (const McRun &r : runs) {
+                StatsMeta meta = {
+                    {"tool", "storemlp_sweep"},
+                    {"kind", "run"},
+                    {"mode", "multicore"},
+                    {"workload", r.profile->name},
+                    {"config", config_names[r.config]},
+                    {"run", r.name},
+                    {"cores", std::to_string(r.cores)},
+                    {"chips", std::to_string(
+                                  chips_flag ? chips_flag : r.cores)},
+                    {"seed", std::to_string(seed)},
+                    {"warmup", std::to_string(warmup)},
+                    {"measure", std::to_string(measure)},
+                };
+                if (!r.ok)
+                    meta.push_back({"error", r.errorMessage});
+                StatsRegistry reg;
+                if (r.ok)
+                    r.output.exportStats(reg);
+                reg.counter("sweep.run.ok", r.ok ? 1 : 0);
+                reg.scalar("sweep.run.wallMs", r.wallMs);
+                writeStatsJson(os, reg, meta, /*pretty=*/false);
+            }
+            StatsMeta meta = {
+                {"tool", "storemlp_sweep"},
+                {"kind", "sweep-summary"},
+                {"mode", "multicore"},
+            };
+            StatsRegistry reg;
+            engine.exportStats(reg);
+            writeStatsJson(os, reg, meta, /*pretty=*/false);
+            return failed ? 1 : 0;
+        }
+
+        size_t idx = 0;
+        for (const auto &profile : profiles) {
+            TextTable table(
+                "Multi-core sweep — " + profile.name + " (" +
+                std::to_string(configs.size()) + " configs x " +
+                std::to_string(core_counts.size()) + " core counts)");
+            table.header({"run", "epochs/1000", "off-chip CPI",
+                          "bus inval/1000", "dirty xfers", "wall ms"});
+            for (size_t c = 0; c < configs.size(); ++c) {
+                for (size_t n = 0; n < core_counts.size(); ++n) {
+                    const McRun &r = runs[idx++];
+                    table.beginRow();
+                    table.cell(config_names[r.config] + "@cores=" +
+                               std::to_string(r.cores));
+                    if (!r.ok) {
+                        table.cell("FAILED");
+                        for (int k = 0; k < 3; ++k)
+                            table.cell("-");
+                        table.cell(r.wallMs, 1);
+                        continue;
+                    }
+                    table.cell(r.output.combinedEpochsPer1000(), 3);
+                    table.cell(r.output.meanOffChipCpi(
+                                   configs[r.config].missLatency),
+                               3);
+                    table.cell(r.output.busInvalidationsPer1000(), 3);
+                    table.cell(static_cast<double>(
+                                   r.output.busDirtyTransfers),
+                               0);
+                    table.cell(r.wallMs, 1);
+                }
+            }
+            table.print(os);
+        }
+        if (failed) {
+            os << failed << " of " << runs.size() << " runs failed:\n";
+            for (const McRun &r : runs) {
+                if (!r.ok)
+                    os << "  " << r.name << ": " << r.errorMessage
+                       << "\n";
+            }
+        }
+        return failed ? 1 : 0;
+    }
 
     std::vector<RunSpec> specs;
     std::vector<std::string> run_names;
