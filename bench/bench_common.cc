@@ -156,15 +156,30 @@ sweepEngine()
 std::vector<RunOutput>
 sweepAll(const std::vector<RunSpec> &specs)
 {
-    return sweepEngine().runOutputs(specs);
+    std::vector<PlannedRun> planned(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        planned[i].name = "bench" + std::to_string(i);
+        planned[i].spec = specs[i];
+    }
+    std::vector<RunOutcome> outcomes = sweepEngine().execute(planned);
+    std::vector<RunOutput> outs;
+    outs.reserve(outcomes.size());
+    for (RunOutcome &o : outcomes) {
+        // A failed cell is fatal for a bench binary — its table
+        // would be missing entries.
+        if (!o.ok)
+            throw SimError(o.errorMessage);
+        outs.push_back(std::move(o.output));
+    }
+    return outs;
 }
 
 void
 sweepTasks(const std::vector<std::function<void()>> &tasks)
 {
-    // All tasks run to completion; the first failure is then fatal
-    // for a bench binary (its table would be missing cells).
-    std::vector<TaskStatus> statuses = sweepEngine().runTasks(tasks);
+    // All tasks run to completion; the first failure is then fatal.
+    std::vector<TaskStatus> statuses =
+        parallelForEach(tasks, io().jobs);
     for (const TaskStatus &s : statuses) {
         if (!s.ok)
             throw SimError(s.errorMessage);

@@ -75,55 +75,62 @@ SweepEngine::resolveJobs(size_t work_items) const
 }
 
 RunOutput
-SweepEngine::runOnce(const RunSpec &spec, bool *hit)
+SweepEngine::runOnce(const RunSpec &spec, const SweepOptions &opts,
+                     bool *hit)
 {
     *hit = false;
-    if (_opts.streaming && !_opts.runOverride) {
+    if (opts.streaming && !opts.runOverride) {
         // O(chunk) resident memory per worker. Chunk-level sharing
         // happens inside the CachedSource, so the per-run `hit` flag
         // stays false; hits are visible in the cache stats instead.
         std::unique_ptr<TraceSource> src = Runner::makeSource(
-            spec, _opts.chunkInsts,
-            _opts.useTraceCache ? _cache : nullptr);
+            spec, opts.chunkInsts,
+            opts.useTraceCache ? _cache : nullptr);
         return Runner::run(spec, *src);
     }
-    if (_opts.useTraceCache && _cache) {
+    if (opts.useTraceCache && _cache) {
         std::shared_ptr<const Trace> trace = _cache->getOrBuild(
             Runner::traceCacheKey(spec),
             [&spec] { return Runner::buildTrace(spec); }, hit);
-        if (_opts.runOverride)
-            return _opts.runOverride(spec, trace.get());
+        if (opts.runOverride)
+            return opts.runOverride(spec, trace.get());
         MaterializedSource src(std::move(trace));
         return Runner::run(spec, src);
     }
-    if (_opts.runOverride)
-        return _opts.runOverride(spec, nullptr);
+    if (opts.runOverride)
+        return opts.runOverride(spec, nullptr);
     Trace trace = Runner::buildTrace(spec);
     MaterializedSource src(trace);
     return Runner::run(spec, src);
 }
 
-std::vector<SweepResult>
-SweepEngine::run(const std::vector<RunSpec> &specs)
+std::vector<RunOutcome>
+SweepEngine::executeWith(const SweepOptions &opts,
+                         const std::vector<PlannedRun> &runs,
+                         const RunObserver &observer)
 {
-    std::vector<SweepResult> results(specs.size());
-    if (specs.empty())
+    std::vector<RunOutcome> results(runs.size());
+    if (runs.empty())
         return results;
 
-    unsigned jobs = resolveJobs(specs.size());
-    unsigned max_attempts = std::max(1u, _opts.maxAttempts);
+    unsigned jobs = resolveJobs(runs.size());
+    unsigned max_attempts = std::max(1u, opts.maxAttempts);
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> failed{0};
-    std::mutex progress_mu;
+    std::mutex sink_mu; // serializes observer calls + progress line
     Clock::time_point t0 = Clock::now();
 
     auto worker = [&]() {
         size_t i;
-        while ((i = next.fetch_add(1)) < specs.size()) {
-            const RunSpec &spec = specs[i];
-            SweepResult &res = results[i];
+        while ((i = next.fetch_add(1)) < runs.size()) {
+            const PlannedRun &run = runs[i];
+            RunOutcome &res = results[i];
+            res.name = run.name;
+            res.workload = run.workload;
+            res.configName = run.configName;
+            res.model = run.model;
             Clock::time_point rt0 = Clock::now();
 
             // Fault containment: an exception from trace construction
@@ -139,7 +146,7 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
                     _runRetries.fetch_add(1);
                 bool hit = false;
                 try {
-                    res.output = runOnce(spec, &hit);
+                    res.output = runOnce(run.spec, opts, &hit);
                     res.ok = true;
                 } catch (const std::exception &e) {
                     err = e.what();
@@ -157,25 +164,36 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
             } else {
                 res.output = RunOutput{};
                 res.errorMessage =
-                    RunError(i, spec.config.name, err).what();
+                    RunError(i, run.spec.config.name, err).what();
                 _runsFailed.fetch_add(1);
                 failed.fetch_add(1);
             }
             if (res.traceCacheHit)
                 hits.fetch_add(1);
             size_t d = done.fetch_add(1) + 1;
-            if (_opts.progress) {
-                std::lock_guard<std::mutex> lk(progress_mu);
-                std::fprintf(stderr,
-                             "\r[sweep] %zu/%zu runs, %llu trace-cache "
-                             "hits, %llu failed, %.1fs elapsed ",
-                             d, specs.size(),
-                             static_cast<unsigned long long>(
-                                 hits.load()),
-                             static_cast<unsigned long long>(
-                                 failed.load()),
-                             msSince(t0) / 1000.0);
-                std::fflush(stderr);
+            if (observer || opts.progress) {
+                std::lock_guard<std::mutex> lk(sink_mu);
+                // The observer must never fault the run it reports:
+                // a throwing result sink (e.g. a dead network
+                // connection) is the sink's problem, and the batch
+                // still completes with every slot filled.
+                if (observer) {
+                    try {
+                        observer(res, d, runs.size());
+                    } catch (...) {
+                    }
+                }
+                if (opts.progress) {
+                    std::fprintf(
+                        stderr,
+                        "\r[sweep] %zu/%zu runs, %llu trace-cache "
+                        "hits, %llu failed, %.1fs elapsed ",
+                        d, runs.size(),
+                        static_cast<unsigned long long>(hits.load()),
+                        static_cast<unsigned long long>(failed.load()),
+                        msSince(t0) / 1000.0);
+                    std::fflush(stderr);
+                }
             }
         }
     };
@@ -191,14 +209,57 @@ SweepEngine::run(const std::vector<RunSpec> &specs)
             t.join();
     }
 
-    if (_opts.progress) {
+    if (opts.progress) {
         std::fprintf(stderr,
                      "\r[sweep] %zu runs done in %.1fs (%u jobs, %llu "
                      "trace-cache hits, %llu failed)        \n",
-                     specs.size(), msSince(t0) / 1000.0, jobs,
+                     runs.size(), msSince(t0) / 1000.0, jobs,
                      static_cast<unsigned long long>(hits.load()),
                      static_cast<unsigned long long>(failed.load()));
         std::fflush(stderr);
+    }
+    return results;
+}
+
+std::vector<RunOutcome>
+SweepEngine::execute(const std::vector<PlannedRun> &runs,
+                     const RunObserver &observer)
+{
+    return executeWith(_opts, runs, observer);
+}
+
+std::vector<RunOutcome>
+SweepEngine::execute(const SweepRequest &request,
+                     const RunObserver &observer)
+{
+    // Expansion failures (bad workload/model/filter) surface before
+    // any run starts: a malformed request is the submitter's error,
+    // not a batch of failed runs.
+    std::vector<PlannedRun> runs = expandSweepRuns(request);
+    SweepOptions opts = _opts;
+    applyRequestOptions(opts, request);
+    _lastMaxAttempts.store(std::max(1u, opts.maxAttempts));
+    return executeWith(opts, runs, observer);
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<RunSpec> &specs)
+{
+    std::vector<PlannedRun> runs(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        runs[i].name = specs[i].config.name;
+        runs[i].configName = specs[i].config.name;
+        runs[i].spec = specs[i];
+    }
+    std::vector<RunOutcome> outcomes = execute(runs);
+    std::vector<SweepResult> results(outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        results[i].output = std::move(outcomes[i].output);
+        results[i].wallMs = outcomes[i].wallMs;
+        results[i].traceCacheHit = outcomes[i].traceCacheHit;
+        results[i].ok = outcomes[i].ok;
+        results[i].attempts = outcomes[i].attempts;
+        results[i].errorMessage = std::move(outcomes[i].errorMessage);
     }
     return results;
 }
@@ -230,24 +291,34 @@ SweepEngine::exportStats(StatsRegistry &reg) const
     reg.counter("sweep.traceCache.evictions", cs.evictions);
     reg.counter("sweep.traceCache.bytes", cs.bytes);
     reg.counter("sweep.jobs", _opts.jobs ? _opts.jobs : defaultJobs());
+    // How the batch was produced: attempts budget per run (request
+    // retries override the engine default and are recorded by
+    // execute()), so artifacts carry their own retry policy.
+    unsigned attempts = _lastMaxAttempts.load();
+    reg.counter("sweep.maxAttempts",
+                attempts ? attempts : std::max(1u, _opts.maxAttempts));
     reg.counter("sweep.runs.ok", _runsOk.load());
     reg.counter("sweep.runs.failed", _runsFailed.load());
     reg.counter("sweep.runs.retries", _runRetries.load());
 }
 
 std::vector<TaskStatus>
-SweepEngine::runTasks(const std::vector<std::function<void()>> &tasks)
+parallelForEach(const std::vector<std::function<void()>> &tasks,
+                unsigned jobs)
 {
     std::vector<TaskStatus> statuses(tasks.size());
     if (tasks.empty())
         return statuses;
-    unsigned jobs = resolveJobs(tasks.size());
+    if (!jobs)
+        jobs = SweepEngine::defaultJobs();
+    if (tasks.size() < jobs)
+        jobs = static_cast<unsigned>(tasks.size());
     std::atomic<size_t> next{0};
     auto worker = [&]() {
         size_t i;
         while ((i = next.fetch_add(1)) < tasks.size()) {
-            // Same containment as run(): a throwing task fails its
-            // own status slot; the remaining tasks still execute.
+            // Same containment as execute(): a throwing task fails
+            // its own status slot; the remaining tasks still execute.
             try {
                 tasks[i]();
             } catch (const std::exception &e) {
@@ -272,6 +343,12 @@ SweepEngine::runTasks(const std::vector<std::function<void()>> &tasks)
             t.join();
     }
     return statuses;
+}
+
+std::vector<TaskStatus>
+SweepEngine::runTasks(const std::vector<std::function<void()>> &tasks)
+{
+    return parallelForEach(tasks, _opts.jobs);
 }
 
 } // namespace storemlp

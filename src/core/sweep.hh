@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/runner.hh"
+#include "core/sweep_request.hh"
 #include "trace/trace_cache.hh"
 #include "util/error.hh"
 
@@ -94,12 +95,58 @@ struct SweepResult
     std::string errorMessage;
 };
 
-/** Outcome of one `runTasks` task. */
+/** Outcome of one `parallelForEach` task. */
 struct TaskStatus
 {
     bool ok = true;
     std::string errorMessage; ///< diagnostic when !ok
 };
+
+/**
+ * One completed planned run: identity (so a result streamed over a
+ * wire is self-describing) plus the output and per-run observability
+ * that `SweepResult` carried. This is the result half of the
+ * transport-agnostic job API (`SweepRequest` -> `RunOutcome`).
+ */
+struct RunOutcome
+{
+    std::string name;       ///< unique run name, e.g. "database_pc1@WC"
+    std::string workload;   ///< workload axis value
+    std::string configName; ///< config axis value
+    std::string model;      ///< model axis value; "" when not crossed
+
+    RunOutput output;
+    double wallMs = 0.0;        ///< wall-clock time of this run
+    bool traceCacheHit = false; ///< input trace came from the cache
+    /** Run completed; when false `output` is default-initialized. */
+    bool ok = true;
+    /** Attempts consumed (1 unless maxAttempts retried the run). */
+    unsigned attempts = 1;
+    /** Diagnostic from the last failed attempt when !ok. */
+    std::string errorMessage;
+};
+
+/**
+ * Completion callback invoked as each run finishes (any worker may
+ * have executed it; invocations are serialized by the engine).
+ * `completed` counts finished runs including this one; `total` is the
+ * batch size. This is the streaming surface the networked sweep
+ * daemon sends results through — and the local tools use the very
+ * same hook, so the paths cannot diverge.
+ */
+using RunObserver =
+    std::function<void(const RunOutcome &, size_t completed,
+                       size_t total)>;
+
+/**
+ * Run independent tasks on a transient worker pool (`jobs` 0 resolves
+ * like SweepEngine::defaultJobs). Tasks must not share mutable state.
+ * Exceptions are captured per task — every task still executes — and
+ * reported in the returned statuses (statuses[i] <-> tasks[i]).
+ */
+std::vector<TaskStatus>
+parallelForEach(const std::vector<std::function<void()>> &tasks,
+                unsigned jobs = 0);
 
 /** Executes batches of RunSpecs on a worker pool. */
 class SweepEngine
@@ -109,27 +156,47 @@ class SweepEngine
                          TraceCache *cache = &TraceCache::global());
 
     /**
-     * Run every spec; results come back in submission order
-     * (result[i] corresponds to specs[i]). A throwing run is
+     * Primary entry point: execute planned runs; outcomes come back
+     * in submission order (outcome[i] corresponds to runs[i], with
+     * the run's identity echoed into the outcome). A throwing run is
      * contained: its slot reports `ok == false` with a diagnostic,
      * every other slot is delivered normally. Does not throw for
-     * per-run failures.
+     * per-run failures. `observer`, when set, fires once per run as
+     * it completes (serialized, any completion order) — the streaming
+     * result surface.
+     */
+    std::vector<RunOutcome>
+    execute(const std::vector<PlannedRun> &runs,
+            const RunObserver &observer = {});
+
+    /**
+     * Execute a serializable request: expands the axis cross-product
+     * (throws ConfigError on a malformed request, before any run
+     * starts) and applies the request's execution options (retries,
+     * streaming, chunk size) for this batch. The daemon, the local
+     * sweep tool and in-process callers all submit through here.
+     */
+    std::vector<RunOutcome> execute(const SweepRequest &request,
+                                    const RunObserver &observer = {});
+
+    /**
+     * DEPRECATED (removal next PR): pre-RunOutcome surface. Wraps
+     * execute() over name-less planned runs and strips run identity
+     * from the outcomes. New callers use execute().
      */
     std::vector<SweepResult> run(const std::vector<RunSpec> &specs);
 
     /**
-     * Convenience: outputs only, submission order. Throws RunError
-     * for the first failed run — callers that need partial results
-     * under faults should use run().
+     * DEPRECATED (removal next PR): outputs only, submission order,
+     * throwing on the first failed run. New callers use execute()
+     * and inspect per-run `ok`.
      */
     std::vector<RunOutput> runOutputs(const std::vector<RunSpec> &specs);
 
     /**
-     * Run arbitrary independent tasks on the same pool (used by the
-     * cache-only and CPI-model benches, which are not RunSpec
-     * shaped). Tasks must not share mutable state. Exceptions are
-     * captured per task — every task still executes — and reported in
-     * the returned statuses (statuses[i] corresponds to tasks[i]).
+     * DEPRECATED (removal next PR): generic task fan-out. Forwards to
+     * the free `parallelForEach` with this engine's job count — the
+     * engine itself now only executes sweep-shaped work.
      */
     std::vector<TaskStatus>
     runTasks(const std::vector<std::function<void()>> &tasks);
@@ -159,14 +226,22 @@ class SweepEngine
 
   private:
     unsigned resolveJobs(size_t work_items) const;
-    /** One attempt of spec i; throws on failure. */
-    RunOutput runOnce(const RunSpec &spec, bool *hit);
+    /** One attempt of a run under `opts`; throws on failure. */
+    RunOutput runOnce(const RunSpec &spec, const SweepOptions &opts,
+                      bool *hit);
+    /** execute() body against explicit options (request overrides). */
+    std::vector<RunOutcome>
+    executeWith(const SweepOptions &opts,
+                const std::vector<PlannedRun> &runs,
+                const RunObserver &observer);
 
     SweepOptions _opts;
     TraceCache *_cache;
     std::atomic<uint64_t> _runsOk{0};
     std::atomic<uint64_t> _runsFailed{0};
     std::atomic<uint64_t> _runRetries{0};
+    /** Effective maxAttempts of the most recent request execute(). */
+    std::atomic<unsigned> _lastMaxAttempts{0};
 };
 
 } // namespace storemlp

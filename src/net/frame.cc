@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Frame stream implementation (POSIX sockets).
+ */
+
+#include "net/frame.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace storemlp::net
+{
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+    out.push_back(static_cast<char>((v >> 16) & 0xff));
+    out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t
+getU32(const std::string &payload, size_t off)
+{
+    if (off + 4 > payload.size())
+        throw NetError("frame payload too short for u32 field");
+    auto b = [&](size_t i) {
+        return static_cast<uint32_t>(
+            static_cast<unsigned char>(payload[off + i]));
+    };
+    return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+FrameConn::~FrameConn()
+{
+    if (_owned)
+        close();
+}
+
+void
+FrameConn::close()
+{
+#ifndef _WIN32
+    if (_fd >= 0) {
+        ::shutdown(_fd, SHUT_RDWR);
+        ::close(_fd);
+        _fd = -1;
+    }
+#endif
+}
+
+void
+FrameConn::shutdown()
+{
+#ifndef _WIN32
+    if (_fd >= 0)
+        ::shutdown(_fd, SHUT_RDWR);
+#endif
+}
+
+void
+FrameConn::writeAll(const void *data, size_t len)
+{
+#ifndef _WIN32
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        // MSG_NOSIGNAL: a dead peer must surface as EPIPE (-> NetError
+        // and a client retry), never as a process-killing SIGPIPE.
+        ssize_t n = ::send(_fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw NetError(std::string("socket write failed: ") +
+                           std::strerror(errno));
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+#else
+    (void)data;
+    (void)len;
+    throw NetError("sweep networking is not supported on this platform");
+#endif
+}
+
+bool
+FrameConn::readAll(void *data, size_t len, bool eof_ok)
+{
+#ifndef _WIN32
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::recv(_fd, p + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw NetError(std::string("socket read failed: ") +
+                           std::strerror(errno));
+        }
+        if (n == 0) {
+            if (got == 0 && eof_ok)
+                return false;
+            throw NetError("truncated frame: connection closed after " +
+                           std::to_string(got) + " of " +
+                           std::to_string(len) + " bytes");
+        }
+        got += static_cast<size_t>(n);
+    }
+    return true;
+#else
+    (void)data;
+    (void)len;
+    (void)eof_ok;
+    throw NetError("sweep networking is not supported on this platform");
+#endif
+}
+
+void
+FrameConn::send(MsgType type, const std::string &payload)
+{
+    if (payload.size() + 1 > kMaxFrameBytes)
+        throw NetError("frame payload exceeds kMaxFrameBytes");
+    std::string head;
+    head.reserve(5);
+    putU32(head, static_cast<uint32_t>(payload.size() + 1));
+    head.push_back(static_cast<char>(type));
+    writeAll(head.data(), head.size());
+    if (!payload.empty())
+        writeAll(payload.data(), payload.size());
+}
+
+bool
+FrameConn::recv(Frame &frame)
+{
+    unsigned char head[4];
+    if (!readAll(head, sizeof head, /*eof_ok=*/true))
+        return false;
+    uint32_t length = static_cast<uint32_t>(head[0]) |
+                      (static_cast<uint32_t>(head[1]) << 8) |
+                      (static_cast<uint32_t>(head[2]) << 16) |
+                      (static_cast<uint32_t>(head[3]) << 24);
+    if (length == 0)
+        throw NetError("zero-length frame (missing type byte)");
+    if (length > kMaxFrameBytes)
+        throw NetError("oversized frame: length prefix " +
+                       std::to_string(length) + " exceeds cap " +
+                       std::to_string(kMaxFrameBytes));
+    unsigned char type = 0;
+    readAll(&type, 1, /*eof_ok=*/false);
+    frame.type = static_cast<MsgType>(type);
+    frame.payload.resize(length - 1);
+    if (length > 1)
+        readAll(frame.payload.data(), length - 1, /*eof_ok=*/false);
+    return true;
+}
+
+} // namespace storemlp::net

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * POSIX TCP helpers implementation.
+ */
+
+#include "net/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace storemlp::net
+{
+
+#ifndef _WIN32
+
+namespace
+{
+
+sockaddr_in
+makeAddr(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        throw NetError("cannot parse IPv4 address '" + host + "'");
+    return addr;
+}
+
+} // namespace
+
+void
+TcpListener::listen(const std::string &host, uint16_t port, int backlog)
+{
+    close();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw NetError(std::string("socket() failed: ") +
+                       std::strerror(errno));
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = makeAddr(host, port);
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) < 0) {
+        int err = errno;
+        ::close(fd);
+        throw NetError("bind " + host + ":" + std::to_string(port) +
+                       " failed: " + std::strerror(err));
+    }
+    if (::listen(fd, backlog) < 0) {
+        int err = errno;
+        ::close(fd);
+        throw NetError(std::string("listen() failed: ") +
+                       std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &len) < 0) {
+        int err = errno;
+        ::close(fd);
+        throw NetError(std::string("getsockname() failed: ") +
+                       std::strerror(err));
+    }
+    _fd = fd;
+    _port = ntohs(bound.sin_port);
+}
+
+int
+TcpListener::accept(const std::atomic<bool> &stop)
+{
+    while (!stop.load(std::memory_order_relaxed)) {
+        if (_fd < 0)
+            return -1;
+        pollfd pfd{_fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 100);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (rc == 0)
+            continue;
+        int conn = ::accept(_fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            return -1;
+        }
+        int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return conn;
+    }
+    return -1;
+}
+
+void
+TcpListener::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+int
+tcpConnect(const std::string &host, uint16_t port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw NetError(std::string("socket() failed: ") +
+                       std::strerror(errno));
+    sockaddr_in addr = makeAddr(host, port);
+    while (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof addr) < 0) {
+        if (errno == EINTR)
+            continue;
+        int err = errno;
+        ::close(fd);
+        throw NetError("connect " + host + ":" + std::to_string(port) +
+                       " failed: " + std::strerror(err));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+}
+
+#else // _WIN32
+
+void
+TcpListener::listen(const std::string &, uint16_t, int)
+{
+    throw NetError("sweep networking is not supported on this platform");
+}
+
+int
+TcpListener::accept(const std::atomic<bool> &)
+{
+    return -1;
+}
+
+void
+TcpListener::close()
+{
+}
+
+int
+tcpConnect(const std::string &, uint16_t)
+{
+    throw NetError("sweep networking is not supported on this platform");
+}
+
+#endif
+
+} // namespace storemlp::net

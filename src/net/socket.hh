@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal POSIX TCP helpers for the sweep service. Loopback-oriented:
+ * the daemon binds 127.0.0.1 by default (port 0 picks an ephemeral
+ * port, reported back via `port()`), and the client dials by
+ * host:port. No TLS, no name-service fanciness — the protocol layer
+ * (frame.hh) assumes a connected stream and nothing more.
+ */
+
+#ifndef STOREMLP_NET_SOCKET_HH
+#define STOREMLP_NET_SOCKET_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hh"
+
+namespace storemlp::net
+{
+
+/**
+ * Listening TCP socket. `listen()` binds and starts listening;
+ * `accept()` blocks (polling so a stop flag is honored within
+ * ~100 ms) and returns a connected fd, or -1 once `stop` is set or
+ * the socket is closed.
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener() { close(); }
+
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Bind `host`:`port` (port 0 = ephemeral) and listen. */
+    void listen(const std::string &host, uint16_t port, int backlog = 16);
+
+    /** Port actually bound (resolves ephemeral port 0). */
+    uint16_t port() const { return _port; }
+
+    /**
+     * Accept one connection. Returns the connected fd, or -1 when
+     * `stop` became true or the listener was closed.
+     */
+    int accept(const std::atomic<bool> &stop);
+
+    void close();
+
+  private:
+    int _fd = -1;
+    uint16_t _port = 0;
+};
+
+/** Connect to host:port; throws NetError on failure. Returns the fd. */
+int tcpConnect(const std::string &host, uint16_t port);
+
+} // namespace storemlp::net
+
+#endif // STOREMLP_NET_SOCKET_HH

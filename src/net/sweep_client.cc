@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Sweep service client implementation.
+ */
+
+#include "net/sweep_client.hh"
+
+#include <memory>
+#include <unordered_map>
+
+#include "net/socket.hh"
+#include "stats/stats_json.hh"
+
+namespace storemlp::net
+{
+
+namespace
+{
+
+/** Connect + Hello/HelloAck; throws NetError on refusal. */
+std::unique_ptr<FrameConn>
+dialServer(const SweepClientOptions &opts)
+{
+    auto conn = std::make_unique<FrameConn>(
+        tcpConnect(opts.host, opts.port));
+    std::string hello;
+    putU32(hello, kProtocolVersion);
+    conn->send(MsgType::Hello, hello);
+    Frame frame;
+    if (!conn->recv(frame))
+        throw NetError("server closed connection during handshake");
+    if (frame.type == MsgType::Error)
+        throw NetError("server refused handshake: " + frame.payload);
+    if (frame.type != MsgType::HelloAck)
+        throw NetError("handshake: expected HelloAck, got frame type " +
+                       std::to_string(
+                           static_cast<unsigned>(frame.type)));
+    uint32_t version = getU32(frame.payload, 0);
+    if (version != kProtocolVersion) {
+        throw NetError("protocol version mismatch: server speaks v" +
+                       std::to_string(version));
+    }
+    return conn;
+}
+
+/** Pull run identity out of a streamed result document. */
+RemoteRunResult
+parseRunResult(const std::string &payload)
+{
+    RemoteRunResult r;
+    r.json = payload;
+    JsonValue doc = JsonValue::parse(payload);
+    const JsonValue &run = doc.at("run");
+    r.name = run.at("name").asString();
+    r.ok = run.at("ok").asString() == "1";
+    if (!r.ok) {
+        if (const JsonValue *meta = doc.find("meta")) {
+            if (const JsonValue *err = meta->find("error"))
+                r.errorMessage = err->asString();
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+RemoteSweepReport
+runSweepRemote(const SweepRequest &request,
+               const SweepClientOptions &opts,
+               const RemoteRunCallback &onResult)
+{
+    // Expand locally first: this validates the request before any
+    // bytes hit the wire and pins down the exact shard-name set the
+    // server must deliver.
+    std::vector<PlannedRun> planned = expandSweepRuns(request);
+
+    RemoteSweepReport report;
+    report.results.resize(planned.size());
+    std::unordered_map<std::string, size_t> slot;
+    for (size_t i = 0; i < planned.size(); ++i) {
+        report.results[i].name = planned[i].name;
+        slot.emplace(planned[i].name, i);
+    }
+
+    std::vector<bool> have(planned.size(), false);
+    size_t have_count = 0;
+
+    auto missingNames = [&] {
+        std::vector<std::string> names;
+        for (size_t i = 0; i < planned.size(); ++i)
+            if (!have[i])
+                names.push_back(planned[i].name);
+        return names;
+    };
+
+    std::string last_error = "no result stream";
+    for (unsigned attempt = 0; attempt <= opts.maxReconnects;
+         ++attempt) {
+        if (have_count == planned.size())
+            break;
+        if (attempt > 0)
+            ++report.reconnects;
+        try {
+            std::unique_ptr<FrameConn> conn = dialServer(opts);
+
+            SweepRequest shard = request;
+            if (attempt > 0) {
+                // Resubmit only the shards we never received. The
+                // fingerprint ignores runFilter, so the server stamps
+                // these results as belonging to the original job.
+                shard.runFilter = missingNames();
+            }
+            conn->send(MsgType::Submit, sweepRequestToText(shard));
+
+            Frame frame;
+            bool done = false;
+            while (!done && conn->recv(frame)) {
+                switch (frame.type) {
+                  case MsgType::RunResult: {
+                    RemoteRunResult r = parseRunResult(frame.payload);
+                    auto it = slot.find(r.name);
+                    if (it == slot.end()) {
+                        throw NetError(
+                            "server sent result for unknown run '" +
+                            r.name + "'");
+                    }
+                    // At-least-once delivery: a resubmitted shard can
+                    // race a result already in flight — first one in
+                    // wins, duplicates are dropped.
+                    if (have[it->second])
+                        break;
+                    have[it->second] = true;
+                    ++have_count;
+                    report.results[it->second] = std::move(r);
+                    if (onResult) {
+                        onResult(report.results[it->second],
+                                 have_count, planned.size());
+                    }
+                    break;
+                  }
+                  case MsgType::JobDone:
+                    report.summaryJson = frame.payload;
+                    done = true;
+                    break;
+                  case MsgType::Error:
+                    throw NetError("server error: " + frame.payload);
+                  default:
+                    throw NetError(
+                        "unexpected frame type " +
+                        std::to_string(
+                            static_cast<unsigned>(frame.type)));
+                }
+            }
+            if (have_count == planned.size())
+                break;
+            last_error = done
+                ? "server reported the batch done with shards missing"
+                : "connection closed mid-stream";
+        } catch (const NetError &e) {
+            last_error = e.what();
+            // Fall through to the next attempt (if any remain).
+        }
+    }
+
+    if (have_count != planned.size()) {
+        throw NetError("lost " +
+                       std::to_string(planned.size() - have_count) +
+                       " of " + std::to_string(planned.size()) +
+                       " shards after " +
+                       std::to_string(report.reconnects) +
+                       " reconnect(s): " + last_error);
+    }
+    return report;
+}
+
+} // namespace storemlp::net

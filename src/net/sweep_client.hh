@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sweep service client: submits a `SweepRequest` to a daemon and
+ * collects the streamed per-run result documents. The client expands
+ * the request locally with the very same `expandSweepRuns` the server
+ * uses, so it knows the exact run-name set to expect; if the
+ * connection dies before every name has arrived, it reconnects and
+ * resubmits the request filtered to the missing names. Combined with
+ * the server's at-least-once delivery this recovers every shard of a
+ * batch across server-side connection drops, up to `maxReconnects`
+ * attempts.
+ */
+
+#ifndef STOREMLP_NET_SWEEP_CLIENT_HH
+#define STOREMLP_NET_SWEEP_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sweep_request.hh"
+#include "net/frame.hh"
+
+namespace storemlp::net
+{
+
+/** Client knobs. */
+struct SweepClientOptions
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /** Extra connection attempts after a mid-stream disconnect. */
+    unsigned maxReconnects = 3;
+};
+
+/** One run's result as received from the daemon. */
+struct RemoteRunResult
+{
+    std::string name; ///< run name (matches the local expansion)
+    bool ok = true;
+    std::string errorMessage; ///< from the document meta when !ok
+    std::string json;         ///< full schemaVersion-2 document
+};
+
+/** Outcome of one remote batch. */
+struct RemoteSweepReport
+{
+    /** Per-run results in local expansion order (all names present). */
+    std::vector<RemoteRunResult> results;
+    /** Reconnect+resubmit cycles consumed recovering lost shards. */
+    unsigned reconnects = 0;
+    /** Last JobDone summary document (empty if never received). */
+    std::string summaryJson;
+
+    size_t failedRuns() const
+    {
+        size_t n = 0;
+        for (const RemoteRunResult &r : results)
+            if (!r.ok)
+                ++n;
+        return n;
+    }
+};
+
+/** Streaming callback: fires as each new result arrives. */
+using RemoteRunCallback = std::function<void(
+    const RemoteRunResult &, size_t completed, size_t total)>;
+
+/**
+ * Submit `request` to the daemon and block until every expanded run
+ * has a result (per-run failures are results too — inspect `ok`).
+ * Throws NetError when the server is unreachable, refuses the
+ * protocol version, or shards are still missing after the reconnect
+ * budget; throws ConfigError when the request does not expand.
+ */
+RemoteSweepReport runSweepRemote(const SweepRequest &request,
+                                 const SweepClientOptions &opts,
+                                 const RemoteRunCallback &onResult = {});
+
+} // namespace storemlp::net
+
+#endif // STOREMLP_NET_SWEEP_CLIENT_HH

@@ -573,16 +573,24 @@ parseJoint(const JsonValue &v)
 }
 
 void
-writeEnvelopeHead(JsonWriter &w, const StatsMeta &meta)
+writeMetaBlock(JsonWriter &w, const char *key, const StatsMeta &block)
+{
+    if (block.empty())
+        return;
+    w.key(key).beginObject();
+    for (const auto &[k, v] : block)
+        w.key(k).value(v);
+    w.endObject();
+}
+
+void
+writeEnvelopeHead(JsonWriter &w, const StatsEnvelope &env)
 {
     w.beginObject();
     w.key("schemaVersion").value(kStatsSchemaVersion);
-    if (!meta.empty()) {
-        w.key("meta").beginObject();
-        for (const auto &[k, v] : meta)
-            w.key(k).value(v);
-        w.endObject();
-    }
+    writeMetaBlock(w, "meta", env.meta);
+    writeMetaBlock(w, "source", env.source);
+    writeMetaBlock(w, "run", env.run);
 }
 
 int
@@ -590,14 +598,26 @@ checkSchemaVersion(const JsonValue &doc)
 {
     const JsonValue &ver = doc.at("schemaVersion");
     if (!ver.isUnsignedIntegral() ||
-        ver.asU64() != uint64_t(kStatsSchemaVersion))
+        ver.asU64() < uint64_t(kStatsSchemaVersionMin) ||
+        ver.asU64() > uint64_t(kStatsSchemaVersion))
         throw StatsJsonError(
             "unsupported schemaVersion " +
             (ver.isNumber() ? ver.numberToken()
                             : std::string("<non-numeric>")) +
-            " (this build reads version " +
+            " (this build reads versions " +
+            std::to_string(kStatsSchemaVersionMin) + ".." +
             std::to_string(kStatsSchemaVersion) + ")");
-    return kStatsSchemaVersion;
+    return static_cast<int>(ver.asU64());
+}
+
+void
+readMetaBlock(const JsonValue &doc, const std::string &key,
+              StatsMeta &out)
+{
+    if (const JsonValue *m = doc.find(key)) {
+        for (const auto &[k, v] : m->members())
+            out.emplace_back(k, v.asString());
+    }
 }
 
 } // namespace
@@ -606,8 +626,15 @@ void
 writeStatsJson(std::ostream &os, const StatsRegistry &reg,
                const StatsMeta &meta, bool pretty)
 {
+    writeStatsJson(os, reg, StatsEnvelope{meta, {}, {}}, pretty);
+}
+
+void
+writeStatsJson(std::ostream &os, const StatsRegistry &reg,
+               const StatsEnvelope &env, bool pretty)
+{
     JsonWriter w(os, pretty);
-    writeEnvelopeHead(w, meta);
+    writeEnvelopeHead(w, env);
     w.key("stats").beginObject();
     for (const StatEntry &e : reg.entries()) {
         w.key(e.name);
@@ -632,17 +659,38 @@ statsToJson(const StatsRegistry &reg, const StatsMeta &meta, bool pretty)
     return oss.str();
 }
 
+std::string
+statsToJson(const StatsRegistry &reg, const StatsEnvelope &env,
+            bool pretty)
+{
+    std::ostringstream oss;
+    writeStatsJson(oss, reg, env, pretty);
+    return oss.str();
+}
+
 StatsRegistry
 statsFromJson(std::string_view text, StatsMeta *meta)
 {
-    JsonValue doc = JsonValue::parse(text);
-    checkSchemaVersion(doc);
-
+    StatsEnvelope env;
+    StatsRegistry reg = statsFromJson(text, &env, nullptr);
     if (meta) {
-        if (const JsonValue *m = doc.find("meta")) {
-            for (const auto &[k, v] : m->members())
-                meta->emplace_back(k, v.asString());
-        }
+        meta->insert(meta->end(), env.meta.begin(), env.meta.end());
+    }
+    return reg;
+}
+
+StatsRegistry
+statsFromJson(std::string_view text, StatsEnvelope *env, int *version)
+{
+    JsonValue doc = JsonValue::parse(text);
+    int ver = checkSchemaVersion(doc);
+    if (version)
+        *version = ver;
+
+    if (env) {
+        readMetaBlock(doc, "meta", env->meta);
+        readMetaBlock(doc, "source", env->source);
+        readMetaBlock(doc, "run", env->run);
     }
 
     StatsRegistry reg;
@@ -773,7 +821,7 @@ writeTableJson(std::ostream &os, const TextTable &table,
                const StatsMeta &meta, bool pretty)
 {
     JsonWriter w(os, pretty);
-    writeEnvelopeHead(w, meta);
+    writeEnvelopeHead(w, StatsEnvelope{meta, {}, {}});
     w.key("table").beginObject();
     w.key("title").value(table.title());
     w.key("columns").beginArray();

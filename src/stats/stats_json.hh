@@ -43,8 +43,20 @@ namespace storemlp
 
 class TextTable;
 
-/** Version of the run-artifact schema emitted by this build. */
-constexpr int kStatsSchemaVersion = 1;
+/**
+ * Version of the run-artifact schema emitted by this build. Version 2
+ * adds two optional envelope blocks alongside `meta` so a result
+ * streamed from a remote sweep daemon is self-describing:
+ *
+ *   "source": { "host": ..., "tool": ..., "request": <fingerprint> }
+ *   "run":    { "name": ..., "workload": ..., "config": ...,
+ *               "model": ..., axis values and per-run provenance }
+ *
+ * Readers accept versions 1..2 and reject anything else.
+ */
+constexpr int kStatsSchemaVersion = 2;
+/** Oldest schema version this build still reads. */
+constexpr int kStatsSchemaVersionMin = 1;
 
 /** Raised on malformed JSON or schema-version mismatch. */
 class StatsJsonError : public std::runtime_error
@@ -55,6 +67,28 @@ class StatsJsonError : public std::runtime_error
 
 /** Ordered (key, value) metadata attached to a document. */
 using StatsMeta = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Full schemaVersion-2 envelope: free-form `meta` (as in v1) plus the
+ * optional `source` (who produced this document) and `run` (which
+ * experimental point it is) identity blocks. Blocks left empty are
+ * omitted from the document.
+ */
+struct StatsEnvelope
+{
+    // Constructors (rather than aggregate init) keep a braced meta
+    // list like {{"tool", "x"}} unambiguously a StatsMeta at the
+    // writeStatsJson overloads.
+    StatsEnvelope() = default;
+    StatsEnvelope(StatsMeta m, StatsMeta s, StatsMeta r)
+        : meta(std::move(m)), source(std::move(s)), run(std::move(r))
+    {
+    }
+
+    StatsMeta meta;
+    StatsMeta source;
+    StatsMeta run;
+};
 
 // ---------------------------------------------------------------------
 // Generic JSON tree (parser side)
@@ -174,14 +208,28 @@ void writeStatsJson(std::ostream &os, const StatsRegistry &reg,
 std::string statsToJson(const StatsRegistry &reg,
                         const StatsMeta &meta = {}, bool pretty = true);
 
+/** Emit a document with the full v2 envelope (source + run blocks). */
+void writeStatsJson(std::ostream &os, const StatsRegistry &reg,
+                    const StatsEnvelope &env, bool pretty = true);
+std::string statsToJson(const StatsRegistry &reg,
+                        const StatsEnvelope &env, bool pretty = true);
+
 /**
  * Parse a stats document back into a registry. Throws StatsJsonError
- * on malformed input or when schemaVersion differs from
- * kStatsSchemaVersion. When `meta` is non-null the document's meta
- * entries are appended to it.
+ * on malformed input or when schemaVersion lies outside
+ * [kStatsSchemaVersionMin, kStatsSchemaVersion]. When `meta` is
+ * non-null the document's meta entries are appended to it.
  */
 StatsRegistry statsFromJson(std::string_view text,
                             StatsMeta *meta = nullptr);
+
+/**
+ * Envelope-aware parse: fills `env` with the document's meta, source
+ * and run blocks (empty when absent) and reports the document's
+ * schema version through `version` when non-null.
+ */
+StatsRegistry statsFromJson(std::string_view text, StatsEnvelope *env,
+                            int *version);
 
 /**
  * CSV rendition of a registry: a header line of entry names and one

@@ -71,6 +71,19 @@ faultingOptions(unsigned jobs, uint64_t failing_marker)
     return opts;
 }
 
+/** Wrap bare specs as planned runs and execute them. */
+std::vector<RunOutcome>
+executeSpecs(SweepEngine &engine, const std::vector<RunSpec> &specs)
+{
+    std::vector<PlannedRun> planned(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        planned[i].name = specs[i].config.name;
+        planned[i].configName = specs[i].config.name;
+        planned[i].spec = specs[i];
+    }
+    return engine.execute(planned);
+}
+
 void
 expectOneFailureContained(unsigned jobs)
 {
@@ -78,7 +91,7 @@ expectOneFailureContained(unsigned jobs)
     const size_t failing = 2;
     SweepEngine engine(faultingOptions(jobs, specs[failing].measureInsts),
                        nullptr);
-    std::vector<SweepResult> results = engine.run(specs);
+    std::vector<RunOutcome> results = executeSpecs(engine, specs);
 
     ASSERT_EQ(results.size(), specs.size());
     for (size_t i = 0; i < results.size(); ++i) {
@@ -120,7 +133,7 @@ TEST(SweepFaults, FailureCountersLandInExportedStats)
     std::vector<RunSpec> specs = markedSpecs(3);
     SweepEngine engine(faultingOptions(1, specs[0].measureInsts),
                        nullptr);
-    engine.run(specs);
+    executeSpecs(engine, specs);
 
     StatsRegistry reg;
     engine.exportStats(reg); // must not crash on the null cache
@@ -145,7 +158,8 @@ TEST(SweepFaults, BoundedRetryRecoversTransientFailure)
         return out;
     };
     SweepEngine engine(opts, nullptr);
-    std::vector<SweepResult> results = engine.run(markedSpecs(1));
+    std::vector<RunSpec> specs = markedSpecs(1);
+    std::vector<RunOutcome> results = executeSpecs(engine, specs);
     ASSERT_EQ(results.size(), 1u);
     EXPECT_TRUE(results[0].ok) << results[0].errorMessage;
     EXPECT_EQ(results[0].attempts, 3u);
@@ -164,7 +178,8 @@ TEST(SweepFaults, RetryBudgetExhaustedReportsFailure)
         throw std::runtime_error("deterministic fault");
     };
     SweepEngine engine(opts, nullptr);
-    std::vector<SweepResult> results = engine.run(markedSpecs(1));
+    std::vector<RunSpec> specs = markedSpecs(1);
+    std::vector<RunOutcome> results = executeSpecs(engine, specs);
     ASSERT_EQ(results.size(), 1u);
     EXPECT_FALSE(results[0].ok);
     EXPECT_EQ(results[0].attempts, 2u);
@@ -173,6 +188,9 @@ TEST(SweepFaults, RetryBudgetExhaustedReportsFailure)
     EXPECT_EQ(engine.runRetries(), 1u);
 }
 
+// Pins the deprecated runOutputs -> run -> execute shim chain
+// (removal next PR): throwing on the first failed run is the old
+// contract callers may still lean on.
 TEST(SweepFaults, RunOutputsThrowsRatherThanReturningPartialSilently)
 {
     std::vector<RunSpec> specs = markedSpecs(3);
@@ -192,11 +210,7 @@ TEST(SweepFaults, RunTasksCapturesPerTaskErrorsAndRunsEveryTask)
                 throw std::runtime_error("task blew up");
         });
     }
-    SweepOptions opts;
-    opts.jobs = 4;
-    opts.progress = false;
-    SweepEngine engine(opts, nullptr);
-    std::vector<TaskStatus> statuses = engine.runTasks(tasks);
+    std::vector<TaskStatus> statuses = parallelForEach(tasks, 4);
 
     ASSERT_EQ(statuses.size(), tasks.size());
     for (size_t i = 0; i < done.size(); ++i)
@@ -506,7 +520,8 @@ TEST(SweepFaults, NullCacheEngineRunsAndExportsZeroedCacheStats)
     SweepEngine engine(opts, nullptr);
     EXPECT_FALSE(engine.hasTraceCache());
 
-    std::vector<SweepResult> results = engine.run(markedSpecs(2));
+    std::vector<RunSpec> specs = markedSpecs(2);
+    std::vector<RunOutcome> results = executeSpecs(engine, specs);
     EXPECT_TRUE(results[0].ok && results[1].ok);
 
     StatsRegistry reg;

@@ -61,16 +61,34 @@ fnv1a(const std::string &s)
     return h;
 }
 
+/**
+ * Hash a registry as its serialized document, with the envelope's
+ * schemaVersion pinned to 1: the goldens were recorded before the v2
+ * envelope existed, and the version token is presentation, not
+ * simulation — pinning it keeps the pre-optimization anchors valid
+ * across schema bumps.
+ */
+std::string
+hashRegistry(const StatsRegistry &reg)
+{
+    std::string doc = statsToJson(reg, StatsMeta{}, false);
+    const std::string tag =
+        "\"schemaVersion\":" + std::to_string(kStatsSchemaVersion);
+    size_t pos = doc.find(tag);
+    if (pos != std::string::npos)
+        doc.replace(pos, tag.size(), "\"schemaVersion\":1");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(fnv1a(doc)));
+    return buf;
+}
+
 std::string
 hashRunOutput(const RunOutput &out)
 {
     StatsRegistry reg;
     out.exportStats(reg);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(
-                      fnv1a(statsToJson(reg, {}, false))));
-    return buf;
+    return hashRegistry(reg);
 }
 
 std::string
@@ -78,11 +96,7 @@ hashSimResult(const SimResult &res)
 {
     StatsRegistry reg;
     res.exportStats(reg);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(
-                      fnv1a(statsToJson(reg, {}, false))));
-    return buf;
+    return hashRegistry(reg);
 }
 
 RunSpec

@@ -87,11 +87,7 @@ TEST(MultiCore, DeterministicAcrossWorkerPools)
                 outs[i] = MultiCoreRunner::run(spec);
             });
         }
-        SweepOptions opts;
-        opts.jobs = jobs;
-        opts.progress = false;
-        SweepEngine engine(opts);
-        for (const TaskStatus &st : engine.runTasks(tasks))
+        for (const TaskStatus &st : parallelForEach(tasks, jobs))
             EXPECT_TRUE(st.ok) << st.errorMessage;
         return outs;
     };

@@ -221,7 +221,7 @@ TEST(StatsJson, RegistryRoundTripKeepsOrderAndKinds)
     reg.joint("joint", j);
 
     StatsRegistry back =
-        statsFromJson(statsToJson(reg, {}, /*pretty=*/false));
+        statsFromJson(statsToJson(reg, StatsMeta{}, /*pretty=*/false));
     EXPECT_EQ(back, reg);
     // Compact and pretty emissions must parse identically.
     EXPECT_EQ(statsFromJson(statsToJson(reg)), reg);
@@ -242,6 +242,63 @@ TEST(StatsJson, SchemaVersionMismatchIsRejected)
         EXPECT_NE(std::string(e.what()).find("schemaVersion"),
                   std::string::npos)
             << e.what();
+    }
+}
+
+TEST(StatsJson, V2EnvelopeRoundTripsSourceAndRunBlocks)
+{
+    StatsRegistry reg;
+    reg.counter("sim.instructions", 4000);
+    reg.scalar("sim.cpi", 1.25);
+
+    StatsEnvelope env{{{"tool", "storemlp_sweepd"}, {"kind", "run"}},
+                      {{"host", "ci-worker"}, {"request", "deadbeef"}},
+                      {{"name", "database_pc1@WC"}, {"seed", "11"}}};
+
+    for (bool pretty : {false, true}) {
+        std::string doc = statsToJson(reg, env, pretty);
+        // The envelope emits at the current schema version.
+        EXPECT_NE(doc.find("\"schemaVersion\""), std::string::npos);
+
+        StatsEnvelope back;
+        int version = 0;
+        StatsRegistry parsed = statsFromJson(doc, &back, &version);
+        EXPECT_EQ(version, kStatsSchemaVersion);
+        EXPECT_EQ(parsed, reg);
+        EXPECT_EQ(back.meta, env.meta);
+        EXPECT_EQ(back.source, env.source);
+        EXPECT_EQ(back.run, env.run);
+    }
+}
+
+TEST(StatsJson, V1DocumentsStillParseWithEmptyEnvelopeBlocks)
+{
+    // Pre-envelope artifacts must stay readable: schemaVersion 1,
+    // meta only, no source/run blocks.
+    std::string doc = "{\"schemaVersion\": 1, \"meta\": "
+                      "{\"tool\": \"old\"}, \"stats\": {\"n\": 7}}";
+    StatsEnvelope env;
+    int version = 0;
+    StatsRegistry reg = statsFromJson(doc, &env, &version);
+    EXPECT_EQ(version, 1);
+    EXPECT_EQ(reg.getCounter("n"), 7u);
+    ASSERT_EQ(env.meta.size(), 1u);
+    EXPECT_EQ(env.meta[0].second, "old");
+    EXPECT_TRUE(env.source.empty());
+    EXPECT_TRUE(env.run.empty());
+}
+
+TEST(StatsJson, FutureSchemaVersionsAreRejected)
+{
+    for (int v : {kStatsSchemaVersion + 1, 99}) {
+        std::string doc = "{\"schemaVersion\": " + std::to_string(v) +
+                          ", \"meta\": {}, \"stats\": {}}";
+        EXPECT_THROW(statsFromJson(doc), StatsJsonError) << v;
+        StatsEnvelope env;
+        int version = 0;
+        EXPECT_THROW(statsFromJson(doc, &env, &version),
+                     StatsJsonError)
+            << v;
     }
 }
 

@@ -86,6 +86,18 @@ makeEngine(TraceCache &cache, unsigned jobs, bool use_cache = true)
     return SweepEngine(opts, &cache);
 }
 
+/** Wrap bare specs as planned runs and execute them. */
+std::vector<RunOutcome>
+executeSpecs(SweepEngine &&engine, const std::vector<RunSpec> &specs)
+{
+    std::vector<PlannedRun> planned(specs.size());
+    for (size_t i = 0; i < specs.size(); ++i) {
+        planned[i].name = "spec" + std::to_string(i);
+        planned[i].spec = specs[i];
+    }
+    return engine.execute(planned);
+}
+
 /** Every counter and distribution that run output carries. */
 void
 expectIdentical(const RunOutput &a, const RunOutput &b)
@@ -138,10 +150,10 @@ TEST(SweepEngine, Jobs1AndJobs4AreBitIdentical)
     std::vector<RunSpec> specs = mixedSpecs();
 
     TraceCache cache1, cache4;
-    std::vector<SweepResult> serial =
-        makeEngine(cache1, 1).run(specs);
-    std::vector<SweepResult> parallel =
-        makeEngine(cache4, 4).run(specs);
+    std::vector<RunOutcome> serial =
+        executeSpecs(makeEngine(cache1, 1), specs);
+    std::vector<RunOutcome> parallel =
+        executeSpecs(makeEngine(cache4, 4), specs);
 
     ASSERT_EQ(serial.size(), specs.size());
     ASSERT_EQ(parallel.size(), specs.size());
@@ -160,8 +172,8 @@ TEST(SweepEngine, StreamingMatchesMaterializedAtAnyJobCount)
     std::vector<RunSpec> specs = mixedSpecs();
 
     TraceCache mat_cache;
-    std::vector<SweepResult> materialized =
-        makeEngine(mat_cache, 2).run(specs);
+    std::vector<RunOutcome> materialized =
+        executeSpecs(makeEngine(mat_cache, 2), specs);
 
     for (unsigned jobs : {1u, 4u}) {
         for (uint64_t chunk : {uint64_t{0}, uint64_t{1021}}) {
@@ -171,8 +183,8 @@ TEST(SweepEngine, StreamingMatchesMaterializedAtAnyJobCount)
             opts.progress = false;
             opts.streaming = true;
             opts.chunkInsts = chunk;
-            std::vector<SweepResult> streamed =
-                SweepEngine(opts, &cache).run(specs);
+            std::vector<RunOutcome> streamed =
+                executeSpecs(SweepEngine(opts, &cache), specs);
             ASSERT_EQ(streamed.size(), specs.size());
             for (size_t i = 0; i < specs.size(); ++i) {
                 SCOPED_TRACE("jobs " + std::to_string(jobs) +
@@ -193,10 +205,10 @@ TEST(SweepEngine, CachedAndUncachedTracesAgree)
 {
     std::vector<RunSpec> specs = mixedSpecs();
     TraceCache cache, unused;
-    std::vector<SweepResult> cached =
-        makeEngine(cache, 2).run(specs);
-    std::vector<SweepResult> uncached =
-        makeEngine(unused, 2, false).run(specs);
+    std::vector<RunOutcome> cached =
+        executeSpecs(makeEngine(cache, 2), specs);
+    std::vector<RunOutcome> uncached =
+        executeSpecs(makeEngine(unused, 2, false), specs);
     for (size_t i = 0; i < specs.size(); ++i) {
         SCOPED_TRACE("spec " + std::to_string(i));
         expectIdentical(cached[i].output, uncached[i].output);
@@ -209,21 +221,21 @@ TEST(SweepEngine, TraceCacheHitsForRepeatedKeys)
     // variants -> exactly 2 distinct traces (PC and WC rewrite).
     std::vector<RunSpec> specs = mixedSpecs();
     TraceCache cache;
-    std::vector<SweepResult> results =
-        makeEngine(cache, 4).run(specs);
+    std::vector<RunOutcome> results =
+        executeSpecs(makeEngine(cache, 4), specs);
 
     TraceCacheStats stats = cache.stats();
     EXPECT_EQ(stats.misses, 2u);
     EXPECT_EQ(stats.hits, specs.size() - 2);
     uint64_t flagged_hits = 0;
-    for (const SweepResult &r : results)
+    for (const RunOutcome &r : results)
         flagged_hits += r.traceCacheHit ? 1 : 0;
     EXPECT_EQ(flagged_hits, stats.hits);
 
     // A different seed is a different key.
     RunSpec reseeded = specs[0];
     reseeded.seed = 1234;
-    makeEngine(cache, 1).run({reseeded});
+    executeSpecs(makeEngine(cache, 1), {reseeded});
     EXPECT_EQ(cache.stats().misses, 3u);
 }
 
@@ -243,8 +255,8 @@ TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
     }
 
     TraceCache cache;
-    std::vector<SweepResult> results =
-        makeEngine(cache, 4).run(specs);
+    std::vector<RunOutcome> results =
+        executeSpecs(makeEngine(cache, 4), specs);
     ASSERT_EQ(results.size(), specs.size());
     for (size_t i = 0; i < specs.size(); ++i) {
         // generateInto may overshoot the goal by a few records, so
@@ -257,6 +269,8 @@ TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
     }
 }
 
+// Pins the deprecated runTasks shim (removal next PR): it must keep
+// forwarding to parallelForEach until the last caller is gone.
 TEST(SweepEngine, RunTasksExecutesEveryTask)
 {
     std::vector<int> done(17, 0);
@@ -274,9 +288,9 @@ TEST(SweepEngine, PerRunTimingIsPopulated)
     std::vector<RunSpec> specs = mixedSpecs();
     specs.resize(2);
     TraceCache cache;
-    std::vector<SweepResult> results =
-        makeEngine(cache, 1).run(specs);
-    for (const SweepResult &r : results)
+    std::vector<RunOutcome> results =
+        executeSpecs(makeEngine(cache, 1), specs);
+    for (const RunOutcome &r : results)
         EXPECT_GT(r.wallMs, 0.0);
 }
 

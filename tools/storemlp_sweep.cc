@@ -7,25 +7,31 @@
  * — with --format=json — one versioned JSON document per run (JSON
  * lines) followed by an engine summary document.
  *
+ * The batch is described by a `SweepRequest` built from the shared
+ * flag table (sweep_cli.hh) — the same request `storemlp_sweepc`
+ * submits to a daemon — and executed through
+ * `SweepEngine::execute`, so local and remote runs of one request are
+ * the same computation producing bit-identical per-run stats.
+ *
  *   storemlp_sweep --dir configs --workload all --jobs 4
  *   storemlp_sweep --dir configs --workload tpcw --format=json
  */
 
-#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cli_util.hh"
-#include "core/config_io.hh"
 #include "core/multi_core.hh"
 #include "core/sweep.hh"
 #include "stats/stats_json.hh"
 #include "stats/table.hh"
+#include "sweep_cli.hh"
 
 using namespace storemlp;
 using namespace storemlp::tools;
@@ -33,18 +39,259 @@ using namespace storemlp::tools;
 namespace
 {
 
+/** The --cores axis: contention runs, fanned out per core count. */
+int
+runCoresSweep(const Cli &cli, const SweepRequest &req)
+{
+    for (const char *bad : {"epoch-log", "retries", "stream"}) {
+        if (cli.has(bad)) {
+            cli.fail(std::string("--") + bad +
+                     " cannot be combined with --cores");
+        }
+    }
+    // --models still crosses the config axis here, exactly as the
+    // request expansion does: names gain "@MODEL", the model overrides
+    // the config's own.
+    std::vector<SweepConfigEntry> configs;
+    if (req.models.empty()) {
+        configs = req.configs;
+    } else {
+        for (const SweepConfigEntry &entry : req.configs) {
+            for (size_t mi = 0; mi < req.models.size(); ++mi) {
+                ModelDescriptor d =
+                    ModelDescriptor::parse(req.models[mi]);
+                SweepConfigEntry crossed = entry;
+                crossed.config.memoryModel = d;
+                crossed.name += "@" +
+                    (d.name == "custom"
+                         ? "custom" + std::to_string(mi)
+                         : d.name);
+                configs.push_back(std::move(crossed));
+            }
+        }
+    }
+
+    std::vector<uint32_t> core_counts;
+    {
+        std::string list = cli.str("cores", "");
+        size_t pos = 0;
+        while (pos <= list.size()) {
+            size_t end = list.find(',', pos);
+            std::string tok = list.substr(
+                pos, end == std::string::npos ? std::string::npos
+                                              : end - pos);
+            if (!tok.empty()) {
+                std::optional<uint64_t> v = parseU64Strict(tok);
+                if (!v || !*v) {
+                    cli.fail("bad --cores entry '" + tok +
+                             "': expected a positive integer");
+                }
+                core_counts.push_back(static_cast<uint32_t>(*v));
+            }
+            if (end == std::string::npos)
+                break;
+            pos = end + 1;
+        }
+        if (core_counts.empty())
+            cli.fail("--cores requires at least one core count");
+    }
+    uint64_t chips_flag = cli.num("chips", 0);
+
+    struct McRun
+    {
+        const SweepConfigEntry *entry;
+        std::string workload;
+        uint32_t cores;
+        std::string name;
+        MultiRunOutput output;
+        double wallMs = 0.0;
+        bool ok = false;
+        std::string errorMessage;
+    };
+    std::vector<McRun> runs;
+    for (const std::string &wl : req.workloads) {
+        (void)workloadProfileForName(wl);
+        for (const SweepConfigEntry &entry : configs) {
+            for (uint32_t n : core_counts) {
+                if (chips_flag > n) {
+                    cli.fail("--chips " + std::to_string(chips_flag) +
+                             " exceeds core count " +
+                             std::to_string(n));
+                }
+                McRun r;
+                r.entry = &entry;
+                r.workload = wl;
+                r.cores = n;
+                r.name = wl + "_" + entry.name +
+                    "@cores=" + std::to_string(n);
+                runs.push_back(std::move(r));
+            }
+        }
+    }
+
+    std::optional<double> shared_frac;
+    if (cli.has("shared-frac"))
+        shared_frac = cli.fnum("shared-frac", 0.0);
+    std::optional<double> lock_prob;
+    if (cli.has("lock-prob"))
+        lock_prob = cli.fnum("lock-prob", 0.0);
+    uint64_t quantum = cli.num("quantum", 256);
+
+    std::vector<std::function<void()>> tasks;
+    for (McRun &r : runs) {
+        tasks.push_back([&r, &req, chips_flag, quantum, shared_frac,
+                         lock_prob] {
+            MultiRunSpec spec;
+            spec.profile = workloadProfileForName(r.workload);
+            spec.config = r.entry->config;
+            spec.seed = req.seed;
+            spec.warmupInsts = req.warmupInsts;
+            spec.measureInsts = req.measureInsts;
+            spec.quantum = quantum;
+            spec.cores = r.cores;
+            spec.chips = chips_flag
+                ? static_cast<uint32_t>(chips_flag)
+                : r.cores;
+            spec.sharedStoreFrac = shared_frac;
+            spec.lockProb = lock_prob;
+            spec.chunkInsts = req.chunkInsts;
+            auto t0 = std::chrono::steady_clock::now();
+            r.output = MultiCoreRunner::run(spec);
+            r.wallMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+            r.ok = true;
+        });
+    }
+
+    // Not RunSpec-shaped, so the runs go through the generic task
+    // fan-out; slots are indexed, keeping results in submission order
+    // regardless of --jobs.
+    unsigned jobs = static_cast<unsigned>(cli.num("jobs", 0));
+    std::vector<TaskStatus> statuses = parallelForEach(tasks, jobs);
+    size_t failed = 0;
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (!statuses[i].ok) {
+            runs[i].errorMessage = statuses[i].errorMessage;
+            ++failed;
+        }
+    }
+
+    OutFormat fmt = outFormat(cli);
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
+
+    if (fmt == OutFormat::Csv) {
+        os << "workload,config,cores,chips,epochs_per_1000,"
+              "mean_offchip_cpi,bus_invalidations,"
+              "bus_inval_per_1000,bus_dirty_transfers,wall_ms,"
+              "ok\n";
+        for (const McRun &r : runs) {
+            os << r.workload << "," << r.entry->name << "@cores="
+               << r.cores << "," << r.cores << ","
+               << (chips_flag ? chips_flag : r.cores) << ","
+               << r.output.combinedEpochsPer1000() << ","
+               << r.output.meanOffChipCpi(r.entry->config.missLatency)
+               << "," << r.output.busInvalidations << ","
+               << r.output.busInvalidationsPer1000() << ","
+               << r.output.busDirtyTransfers << "," << r.wallMs << ","
+               << (r.ok ? 1 : 0) << "\n";
+        }
+        for (const McRun &r : runs) {
+            if (!r.ok)
+                std::cerr << "error: " << r.errorMessage << "\n";
+        }
+        return failed ? 1 : 0;
+    }
+
+    if (fmt == OutFormat::Json) {
+        for (const McRun &r : runs) {
+            StatsMeta meta = {
+                {"tool", "storemlp_sweep"},
+                {"kind", "run"},
+                {"mode", "multicore"},
+                {"workload", r.workload},
+                {"config", r.entry->name},
+                {"run", r.name},
+                {"cores", std::to_string(r.cores)},
+                {"chips", std::to_string(
+                              chips_flag ? chips_flag : r.cores)},
+                {"seed", std::to_string(req.seed)},
+                {"warmup", std::to_string(req.warmupInsts)},
+                {"measure", std::to_string(req.measureInsts)},
+            };
+            if (!r.ok)
+                meta.push_back({"error", r.errorMessage});
+            StatsRegistry reg;
+            if (r.ok)
+                r.output.exportStats(reg);
+            reg.counter("sweep.run.ok", r.ok ? 1 : 0);
+            reg.scalar("sweep.run.wallMs", r.wallMs);
+            writeStatsJson(os, reg, meta, /*pretty=*/false);
+        }
+        StatsMeta meta = {
+            {"tool", "storemlp_sweep"},
+            {"kind", "sweep-summary"},
+            {"mode", "multicore"},
+        };
+        SweepOptions sopts;
+        sopts.jobs = jobs;
+        SweepEngine engine(sopts);
+        StatsRegistry reg;
+        engine.exportStats(reg);
+        writeStatsJson(os, reg, meta, /*pretty=*/false);
+        return failed ? 1 : 0;
+    }
+
+    size_t idx = 0;
+    for (const std::string &wl : req.workloads) {
+        TextTable table(
+            "Multi-core sweep — " + wl + " (" +
+            std::to_string(configs.size()) + " configs x " +
+            std::to_string(core_counts.size()) + " core counts)");
+        table.header({"run", "epochs/1000", "off-chip CPI",
+                      "bus inval/1000", "dirty xfers", "wall ms"});
+        for (size_t c = 0; c < configs.size(); ++c) {
+            for (size_t n = 0; n < core_counts.size(); ++n) {
+                const McRun &r = runs[idx++];
+                table.beginRow();
+                table.cell(r.entry->name + "@cores=" +
+                           std::to_string(r.cores));
+                if (!r.ok) {
+                    table.cell("FAILED");
+                    for (int k = 0; k < 3; ++k)
+                        table.cell("-");
+                    table.cell(r.wallMs, 1);
+                    continue;
+                }
+                table.cell(r.output.combinedEpochsPer1000(), 3);
+                table.cell(r.output.meanOffChipCpi(
+                               r.entry->config.missLatency),
+                           3);
+                table.cell(r.output.busInvalidationsPer1000(), 3);
+                table.cell(static_cast<double>(
+                               r.output.busDirtyTransfers),
+                           0);
+                table.cell(r.wallMs, 1);
+            }
+        }
+        table.print(os);
+    }
+    if (failed) {
+        os << failed << " of " << runs.size() << " runs failed:\n";
+        for (const McRun &r : runs) {
+            if (!r.ok)
+                os << "  " << r.name << ": " << r.errorMessage << "\n";
+        }
+    }
+    return failed ? 1 : 0;
+}
+
 int
 toolMain(int argc, char **argv)
 {
-    Cli cli(argc, argv, {
-        {"dir", "PATH",
-         "directory of *.cfg SimConfig files (default: configs)"},
-        {"workload", "all|database|tpcw|specjbb|specweb",
-         "workload(s) to sweep (default all)"},
-        {"models", "LIST",
-         "also sweep the memory-model axis: run every config under\n"
-         "each model in LIST (';'-separated presets or key=val\n"
-         "descriptors; ',' also splits when no ';' is present)"},
+    std::vector<FlagSpec> flags = sweepRequestFlags();
+    flags.insert(flags.end(), {
         {"cores", "LIST",
          "sweep the core-count axis: run every (workload, config)\n"
          "point on the N-core contention runner for each core count\n"
@@ -60,343 +307,25 @@ toolMain(int argc, char **argv)
         {"lock-prob", "F",
          "lock-density override for --cores runs"},
         kJobsFlag,
-        kWarmupFlag, kMeasureFlag, kSeedFlag,
         {"no-trace-cache", "", "rebuild the trace for every run"},
-        {"stream", "",
-         "synthesize traces chunk-by-chunk per worker instead of\n"
-         "materializing them (O(chunk) trace memory per run;\n"
-         "workers share decoded chunks via the trace cache)"},
-        kChunkInstsFlag,
-        {"retries", "N",
-         "retry a failing run up to N extra times (default 0)"},
         {"epoch-log", "DIR",
          "write one JSON-lines epoch trace per run into DIR"},
         kFormatFlag, kOutFlag,
     });
+    Cli cli(argc, argv, std::move(flags));
 
-    std::string dir = cli.str("dir", "configs");
-    std::vector<std::filesystem::path> files;
-    std::error_code ec;
-    for (const auto &entry :
-         std::filesystem::directory_iterator(dir, ec)) {
-        if (entry.path().extension() == ".cfg")
-            files.push_back(entry.path());
-    }
-    if (ec)
-        cli.fail("cannot read directory '" + dir + "': " + ec.message());
-    if (files.empty())
-        cli.fail("no .cfg files in '" + dir + "'");
-    std::sort(files.begin(), files.end());
+    SweepRequest req = sweepRequestFromFlags(cli);
 
-    std::vector<SimConfig> configs;
-    std::vector<std::string> config_names;
-    for (const auto &f : files) {
-        try {
-            configs.push_back(loadSimConfigFile(f.string()));
-        } catch (const ConfigParseError &e) {
-            cli.fail(e.what());
-        }
-        config_names.push_back(f.stem().string());
-    }
+    if (cli.has("cores"))
+        return runCoresSweep(cli, req);
 
-    // --models crosses every config with every requested model
-    // descriptor, so one batch covers the whole model axis.
-    if (cli.has("models")) {
-        std::string list = cli.str("models", "");
-        char sep = list.find(';') != std::string::npos ? ';' : ',';
-        std::vector<ModelDescriptor> models;
-        size_t pos = 0;
-        while (pos <= list.size()) {
-            size_t end = list.find(sep, pos);
-            std::string tok = list.substr(
-                pos, end == std::string::npos ? std::string::npos
-                                              : end - pos);
-            if (!tok.empty()) {
-                try {
-                    models.push_back(ModelDescriptor::parse(tok));
-                } catch (const ConfigError &e) {
-                    cli.fail(e.what());
-                }
-            }
-            if (end == std::string::npos)
-                break;
-            pos = end + 1;
-        }
-        if (models.empty())
-            cli.fail("--models requires at least one model");
-        std::vector<SimConfig> crossed;
-        std::vector<std::string> crossed_names;
-        for (size_t c = 0; c < configs.size(); ++c) {
-            for (size_t mi = 0; mi < models.size(); ++mi) {
-                SimConfig cc = configs[c];
-                cc.memoryModel = models[mi];
-                crossed.push_back(cc);
-                // Preset name when it has one; positional otherwise
-                // (a custom spec() contains commas, which would break
-                // the CSV rows).
-                std::string mname = models[mi].name == "custom"
-                    ? "custom" + std::to_string(mi)
-                    : models[mi].name;
-                crossed_names.push_back(config_names[c] + "@" + mname);
-            }
-        }
-        configs = std::move(crossed);
-        config_names = std::move(crossed_names);
-    }
-
-    std::vector<WorkloadProfile> profiles;
-    std::string wl = cli.str("workload", "all");
-    if (wl == "all")
-        profiles = WorkloadProfile::allCommercial();
-    else
-        profiles.push_back(workloadByName(cli, wl));
-
-    uint64_t warmup, measure, seed;
-    applyRunLengths(cli, warmup, measure, seed);
-
-    if (cli.has("cores")) {
-        // Core-count axis: every (workload, config) point runs on the
-        // N-core contention runner for each requested core count. The
-        // runs are not RunSpec-shaped, so they go through the engine's
-        // task pool directly; slots are indexed, keeping results in
-        // submission order regardless of --jobs.
-        for (const char *bad : {"epoch-log", "retries", "stream"}) {
-            if (cli.has(bad)) {
-                cli.fail(std::string("--") + bad +
-                         " cannot be combined with --cores");
-            }
-        }
-        std::vector<uint32_t> core_counts;
-        {
-            std::string list = cli.str("cores", "");
-            size_t pos = 0;
-            while (pos <= list.size()) {
-                size_t end = list.find(',', pos);
-                std::string tok = list.substr(
-                    pos, end == std::string::npos ? std::string::npos
-                                                  : end - pos);
-                if (!tok.empty()) {
-                    std::optional<uint64_t> v = parseU64Strict(tok);
-                    if (!v || !*v) {
-                        cli.fail("bad --cores entry '" + tok +
-                                 "': expected a positive integer");
-                    }
-                    core_counts.push_back(
-                        static_cast<uint32_t>(*v));
-                }
-                if (end == std::string::npos)
-                    break;
-                pos = end + 1;
-            }
-            if (core_counts.empty())
-                cli.fail("--cores requires at least one core count");
-        }
-        uint64_t chips_flag = cli.num("chips", 0);
-
-        struct McRun
-        {
-            const WorkloadProfile *profile;
-            size_t config;
-            uint32_t cores;
-            std::string name;
-            MultiRunOutput output;
-            double wallMs = 0.0;
-            bool ok = false;
-            std::string errorMessage;
-        };
-        std::vector<McRun> runs;
-        for (const auto &profile : profiles) {
-            for (size_t c = 0; c < configs.size(); ++c) {
-                for (uint32_t n : core_counts) {
-                    if (chips_flag > n) {
-                        cli.fail("--chips " +
-                                 std::to_string(chips_flag) +
-                                 " exceeds core count " +
-                                 std::to_string(n));
-                    }
-                    McRun r;
-                    r.profile = &profile;
-                    r.config = c;
-                    r.cores = n;
-                    r.name = profile.name + "_" + config_names[c] +
-                        "@cores=" + std::to_string(n);
-                    runs.push_back(std::move(r));
-                }
-            }
-        }
-
-        std::optional<double> shared_frac;
-        if (cli.has("shared-frac"))
-            shared_frac = cli.fnum("shared-frac", 0.0);
-        std::optional<double> lock_prob;
-        if (cli.has("lock-prob"))
-            lock_prob = cli.fnum("lock-prob", 0.0);
-        uint64_t quantum = cli.num("quantum", 256);
-        uint64_t chunk = cli.num("chunk-insts", 0);
-
-        std::vector<std::function<void()>> tasks;
-        for (McRun &r : runs) {
-            tasks.push_back([&r, &configs, chips_flag, quantum, chunk,
-                             shared_frac, lock_prob, warmup, measure,
-                             seed] {
-                MultiRunSpec spec;
-                spec.profile = *r.profile;
-                spec.config = configs[r.config];
-                spec.seed = seed;
-                spec.warmupInsts = warmup;
-                spec.measureInsts = measure;
-                spec.quantum = quantum;
-                spec.cores = r.cores;
-                spec.chips = chips_flag
-                    ? static_cast<uint32_t>(chips_flag)
-                    : r.cores;
-                spec.sharedStoreFrac = shared_frac;
-                spec.lockProb = lock_prob;
-                spec.chunkInsts = chunk;
-                auto t0 = std::chrono::steady_clock::now();
-                r.output = MultiCoreRunner::run(spec);
-                r.wallMs = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count();
-                r.ok = true;
-            });
-        }
-
-        SweepOptions opts;
-        if (cli.has("jobs"))
-            opts.jobs = static_cast<unsigned>(cli.num("jobs", 0));
-        SweepEngine engine(opts);
-        std::vector<TaskStatus> statuses = engine.runTasks(tasks);
-        size_t failed = 0;
-        for (size_t i = 0; i < runs.size(); ++i) {
-            if (!statuses[i].ok) {
-                runs[i].errorMessage = statuses[i].errorMessage;
-                ++failed;
-            }
-        }
-
-        OutFormat fmt = outFormat(cli);
-        OutputSink sink(cli);
-        std::ostream &os = sink.stream();
-
-        if (fmt == OutFormat::Csv) {
-            os << "workload,config,cores,chips,epochs_per_1000,"
-                  "mean_offchip_cpi,bus_invalidations,"
-                  "bus_inval_per_1000,bus_dirty_transfers,wall_ms,"
-                  "ok\n";
-            for (const McRun &r : runs) {
-                os << r.profile->name << "," << config_names[r.config]
-                   << "@cores=" << r.cores << "," << r.cores << ","
-                   << (chips_flag ? chips_flag : r.cores) << ","
-                   << r.output.combinedEpochsPer1000() << ","
-                   << r.output.meanOffChipCpi(
-                          configs[r.config].missLatency)
-                   << "," << r.output.busInvalidations << ","
-                   << r.output.busInvalidationsPer1000() << ","
-                   << r.output.busDirtyTransfers << "," << r.wallMs
-                   << "," << (r.ok ? 1 : 0) << "\n";
-            }
-            for (const McRun &r : runs) {
-                if (!r.ok)
-                    std::cerr << "error: " << r.errorMessage << "\n";
-            }
-            return failed ? 1 : 0;
-        }
-
-        if (fmt == OutFormat::Json) {
-            for (const McRun &r : runs) {
-                StatsMeta meta = {
-                    {"tool", "storemlp_sweep"},
-                    {"kind", "run"},
-                    {"mode", "multicore"},
-                    {"workload", r.profile->name},
-                    {"config", config_names[r.config]},
-                    {"run", r.name},
-                    {"cores", std::to_string(r.cores)},
-                    {"chips", std::to_string(
-                                  chips_flag ? chips_flag : r.cores)},
-                    {"seed", std::to_string(seed)},
-                    {"warmup", std::to_string(warmup)},
-                    {"measure", std::to_string(measure)},
-                };
-                if (!r.ok)
-                    meta.push_back({"error", r.errorMessage});
-                StatsRegistry reg;
-                if (r.ok)
-                    r.output.exportStats(reg);
-                reg.counter("sweep.run.ok", r.ok ? 1 : 0);
-                reg.scalar("sweep.run.wallMs", r.wallMs);
-                writeStatsJson(os, reg, meta, /*pretty=*/false);
-            }
-            StatsMeta meta = {
-                {"tool", "storemlp_sweep"},
-                {"kind", "sweep-summary"},
-                {"mode", "multicore"},
-            };
-            StatsRegistry reg;
-            engine.exportStats(reg);
-            writeStatsJson(os, reg, meta, /*pretty=*/false);
-            return failed ? 1 : 0;
-        }
-
-        size_t idx = 0;
-        for (const auto &profile : profiles) {
-            TextTable table(
-                "Multi-core sweep — " + profile.name + " (" +
-                std::to_string(configs.size()) + " configs x " +
-                std::to_string(core_counts.size()) + " core counts)");
-            table.header({"run", "epochs/1000", "off-chip CPI",
-                          "bus inval/1000", "dirty xfers", "wall ms"});
-            for (size_t c = 0; c < configs.size(); ++c) {
-                for (size_t n = 0; n < core_counts.size(); ++n) {
-                    const McRun &r = runs[idx++];
-                    table.beginRow();
-                    table.cell(config_names[r.config] + "@cores=" +
-                               std::to_string(r.cores));
-                    if (!r.ok) {
-                        table.cell("FAILED");
-                        for (int k = 0; k < 3; ++k)
-                            table.cell("-");
-                        table.cell(r.wallMs, 1);
-                        continue;
-                    }
-                    table.cell(r.output.combinedEpochsPer1000(), 3);
-                    table.cell(r.output.meanOffChipCpi(
-                                   configs[r.config].missLatency),
-                               3);
-                    table.cell(r.output.busInvalidationsPer1000(), 3);
-                    table.cell(static_cast<double>(
-                                   r.output.busDirtyTransfers),
-                               0);
-                    table.cell(r.wallMs, 1);
-                }
-            }
-            table.print(os);
-        }
-        if (failed) {
-            os << failed << " of " << runs.size() << " runs failed:\n";
-            for (const McRun &r : runs) {
-                if (!r.ok)
-                    os << "  " << r.name << ": " << r.errorMessage
-                       << "\n";
-            }
-        }
-        return failed ? 1 : 0;
-    }
-
-    std::vector<RunSpec> specs;
-    std::vector<std::string> run_names;
-    for (const auto &profile : profiles) {
-        for (size_t c = 0; c < configs.size(); ++c) {
-            RunSpec spec;
-            spec.profile = profile;
-            spec.config = configs[c];
-            spec.warmupInsts = warmup;
-            spec.measureInsts = measure;
-            spec.seed = seed;
-            specs.push_back(spec);
-            run_names.push_back(profile.name + "_" + config_names[c]);
-        }
+    // Expand exactly like the engine / daemon would; the planned runs
+    // keep their specs accessible so per-run epoch logs can attach.
+    std::vector<PlannedRun> planned;
+    try {
+        planned = expandSweepRuns(req);
+    } catch (const ConfigError &e) {
+        cli.fail(e.what());
     }
 
     // One epoch-log stream per run: the workers run concurrently, so
@@ -404,37 +333,34 @@ toolMain(int argc, char **argv)
     std::vector<std::unique_ptr<std::ofstream>> epoch_logs;
     if (cli.has("epoch-log")) {
         std::filesystem::path log_dir = cli.str("epoch-log", "");
+        std::error_code ec;
         std::filesystem::create_directories(log_dir, ec);
         if (ec)
             cli.fail("cannot create --epoch-log directory '" +
                      log_dir.string() + "': " + ec.message());
-        for (size_t i = 0; i < specs.size(); ++i) {
-            auto os = std::make_unique<std::ofstream>(
-                log_dir / (run_names[i] + ".epochs.jsonl"));
-            if (!*os)
-                cli.fail("cannot open epoch log for run '" +
-                         run_names[i] + "'");
-            specs[i].epochLog = os.get();
-            epoch_logs.push_back(std::move(os));
+        for (PlannedRun &run : planned) {
+            auto log = std::make_unique<std::ofstream>(
+                log_dir / (run.name + ".epochs.jsonl"));
+            if (!*log)
+                cli.fail("cannot open epoch log for run '" + run.name +
+                         "'");
+            run.spec.epochLog = log.get();
+            epoch_logs.push_back(std::move(log));
         }
     }
 
     SweepOptions opts;
     if (cli.has("jobs"))
         opts.jobs = static_cast<unsigned>(cli.num("jobs", 0));
-    if (cli.has("retries"))
-        opts.maxAttempts =
-            1 + static_cast<unsigned>(cli.num("retries", 0));
     opts.useTraceCache = !cli.flag("no-trace-cache");
-    opts.streaming = cli.flag("stream") || cli.has("chunk-insts");
-    opts.chunkInsts = cli.num("chunk-insts", 0);
+    applyRequestOptions(opts, req);
     SweepEngine engine(opts);
-    std::vector<SweepResult> results = engine.run(specs);
+    std::vector<RunOutcome> results = engine.execute(planned);
 
     // Fault containment: failed runs are reported (and fail the exit
     // code) but never discard the completed results.
     size_t failed = 0;
-    for (const SweepResult &r : results)
+    for (const RunOutcome &r : results)
         failed += r.ok ? 0 : 1;
 
     OutFormat fmt = outFormat(cli);
@@ -445,22 +371,19 @@ toolMain(int argc, char **argv)
         os << "workload,config,epochs_per_1000,mlp,store_mlp,"
               "offchip_cpi,overlapped_frac,wall_ms,"
               "trace_cache_hit,ok\n";
-        size_t idx = 0;
-        for (const auto &profile : profiles) {
-            for (size_t c = 0; c < configs.size(); ++c) {
-                const SweepResult &r = results[idx++];
-                os << profile.name << "," << config_names[c] << ","
-                   << r.output.sim.epochsPer1000() << ","
-                   << r.output.sim.mlp() << ","
-                   << r.output.sim.storeMlp() << ","
-                   << r.output.sim.offChipCpi(configs[c].missLatency)
-                   << "," << r.output.sim.overlappedStoreFraction()
-                   << "," << r.wallMs << ","
-                   << (r.traceCacheHit ? 1 : 0) << ","
-                   << (r.ok ? 1 : 0) << "\n";
-            }
+        for (size_t i = 0; i < results.size(); ++i) {
+            const RunOutcome &r = results[i];
+            uint32_t miss_latency = planned[i].spec.config.missLatency;
+            os << r.workload << ","
+               << runConfigLabel(r.configName, r.model) << ","
+               << r.output.sim.epochsPer1000() << ","
+               << r.output.sim.mlp() << "," << r.output.sim.storeMlp()
+               << "," << r.output.sim.offChipCpi(miss_latency) << ","
+               << r.output.sim.overlappedStoreFraction() << ","
+               << r.wallMs << "," << (r.traceCacheHit ? 1 : 0) << ","
+               << (r.ok ? 1 : 0) << "\n";
         }
-        for (const SweepResult &r : results) {
+        for (const RunOutcome &r : results) {
             if (!r.ok)
                 std::cerr << "error: " << r.errorMessage << "\n";
         }
@@ -468,33 +391,18 @@ toolMain(int argc, char **argv)
     }
 
     if (fmt == OutFormat::Json) {
-        // JSON lines: one compact versioned document per run, then an
-        // engine summary document (trace-cache sharing, job count).
-        size_t idx = 0;
-        for (const auto &profile : profiles) {
-            for (size_t c = 0; c < configs.size(); ++c) {
-                const SweepResult &r = results[idx++];
-                StatsMeta meta = {
-                    {"tool", "storemlp_sweep"},
-                    {"kind", "run"},
-                    {"workload", profile.name},
-                    {"config", config_names[c]},
-                    {"seed", std::to_string(seed)},
-                    {"warmup", std::to_string(warmup)},
-                    {"measure", std::to_string(measure)},
-                };
-                if (!r.ok)
-                    meta.push_back({"error", r.errorMessage});
-                StatsRegistry reg;
-                if (r.ok)
-                    r.output.exportStats(reg);
-                reg.counter("sweep.run.ok", r.ok ? 1 : 0);
-                reg.counter("sweep.run.attempts", r.attempts);
-                reg.scalar("sweep.run.wallMs", r.wallMs);
-                reg.counter("sweep.run.traceCacheHit",
-                            r.traceCacheHit ? 1 : 0);
-                writeStatsJson(os, reg, meta, /*pretty=*/false);
-            }
+        // JSON lines: one compact schemaVersion-2 document per run —
+        // the same documents a sweep daemon streams for this request,
+        // produced by the same runOutcomeJson — then an engine
+        // summary document (trace-cache sharing, job count, retry
+        // policy).
+        ArtifactSource src;
+        src.tool = "storemlp_sweep";
+        src.host = localHostName();
+        src.requestFingerprint = sweepRequestFingerprint(req);
+        for (const RunOutcome &r : results) {
+            os << runOutcomeJson(r, src, req.seed, req.warmupInsts,
+                                 req.measureInsts);
         }
         StatsMeta meta = {
             {"tool", "storemlp_sweep"},
@@ -507,15 +415,19 @@ toolMain(int argc, char **argv)
     }
 
     size_t idx = 0;
-    for (const auto &profile : profiles) {
-        TextTable table("Sweep — " + profile.name + " (" +
-                        std::to_string(configs.size()) + " configs)");
+    for (const std::string &wl : req.workloads) {
+        size_t per_wl = results.size() / req.workloads.size();
+        TextTable table("Sweep — " + wl + " (" +
+                        std::to_string(per_wl) + " configs)");
         table.header({"config", "epochs/1000", "MLP", "store MLP",
                       "off-chip CPI", "overlapped", "wall ms"});
-        for (size_t c = 0; c < configs.size(); ++c) {
-            const SweepResult &r = results[idx++];
+        for (size_t c = 0; c < per_wl; ++c) {
+            const RunOutcome &r = results[idx];
+            uint32_t miss_latency =
+                planned[idx].spec.config.missLatency;
+            ++idx;
             table.beginRow();
-            table.cell(config_names[c]);
+            table.cell(runConfigLabel(r.configName, r.model));
             if (!r.ok) {
                 table.cell("FAILED");
                 for (int k = 0; k < 4; ++k)
@@ -526,8 +438,7 @@ toolMain(int argc, char **argv)
             table.cell(r.output.sim.epochsPer1000(), 3);
             table.cell(r.output.sim.mlp(), 3);
             table.cell(r.output.sim.storeMlp(), 3);
-            table.cell(r.output.sim.offChipCpi(configs[c].missLatency),
-                       3);
+            table.cell(r.output.sim.offChipCpi(miss_latency), 3);
             table.cell(r.output.sim.overlappedStoreFraction(), 3);
             table.cell(r.wallMs, 1);
         }
@@ -541,9 +452,8 @@ toolMain(int argc, char **argv)
            << " MB resident\n";
     }
     if (failed) {
-        os << failed << " of " << results.size()
-           << " runs failed:\n";
-        for (const SweepResult &r : results) {
+        os << failed << " of " << results.size() << " runs failed:\n";
+        for (const RunOutcome &r : results) {
             if (!r.ok)
                 os << "  " << r.errorMessage << "\n";
         }

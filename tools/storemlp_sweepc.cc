@@ -1,0 +1,97 @@
+/**
+ * @file
+ * storemlp_sweepc: sweep service client. Builds the same
+ * `SweepRequest` the local storemlp_sweep tool would run (same flag
+ * table, same expansion), submits it to a storemlp_sweepd daemon, and
+ * prints the streamed per-run schemaVersion-2 JSON documents as JSON
+ * lines, followed by the daemon's summary document. If the connection
+ * dies mid-stream the client reconnects and resubmits the missing
+ * shards (at-least-once delivery; see docs/SWEEP_PROTOCOL.md).
+ *
+ *   storemlp_sweepc --host 127.0.0.1 --port 7777 --dir configs \
+ *       --workload tpcw --models "pc;wc" > results.jsonl
+ *
+ * Exit codes: 0 all runs completed, 1 on per-run failures or a
+ * network/protocol error (SimError contract), 2 usage.
+ */
+
+#include <iostream>
+
+#include "cli_util.hh"
+#include "net/sweep_client.hh"
+#include "sweep_cli.hh"
+
+using namespace storemlp;
+using namespace storemlp::tools;
+
+namespace
+{
+
+int
+toolMain(int argc, char **argv)
+{
+    std::vector<FlagSpec> flags = {
+        {"host", "ADDR", "daemon address (default 127.0.0.1)"},
+        {"port", "N", "daemon TCP port (required)"},
+        {"reconnects", "N",
+         "reconnect+resubmit budget after a mid-stream disconnect\n"
+         "(default 3)"},
+    };
+    std::vector<FlagSpec> req_flags = sweepRequestFlags();
+    flags.insert(flags.end(), req_flags.begin(), req_flags.end());
+    flags.push_back(kOutFlag);
+    Cli cli(argc, argv, std::move(flags));
+
+    if (!cli.has("port"))
+        cli.fail("--port is required");
+    uint64_t port = cli.num("port", 0);
+    if (!port || port > 65535)
+        cli.fail("--port out of range");
+
+    SweepRequest req = sweepRequestFromFlags(cli);
+
+    net::SweepClientOptions opts;
+    opts.host = cli.str("host", "127.0.0.1");
+    opts.port = static_cast<uint16_t>(port);
+    opts.maxReconnects =
+        static_cast<unsigned>(cli.num("reconnects", 3));
+
+    OutputSink sink(cli);
+    std::ostream &os = sink.stream();
+
+    // Stream results as they arrive — JSON lines, like the local
+    // tool's --format=json output.
+    net::RemoteSweepReport report = net::runSweepRemote(
+        req, opts,
+        [&os](const net::RemoteRunResult &r, size_t, size_t) {
+            os << r.json;
+            if (r.json.empty() || r.json.back() != '\n')
+                os << "\n";
+        });
+
+    if (!report.summaryJson.empty()) {
+        os << report.summaryJson;
+        if (report.summaryJson.back() != '\n')
+            os << "\n";
+    }
+    if (report.reconnects) {
+        std::cerr << "storemlp_sweepc: recovered batch after "
+                  << report.reconnects << " reconnect(s)\n";
+    }
+
+    size_t failed = report.failedRuns();
+    for (const net::RemoteRunResult &r : report.results) {
+        if (!r.ok)
+            std::cerr << "error: " << r.name << ": " << r.errorMessage
+                      << "\n";
+    }
+    return failed ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return runTool(argv[0], toolMain, argc, argv);
+}
